@@ -1,0 +1,162 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp all                 # every table and figure
+//	experiments -exp fig4a,fig4b,fig8    # a subset
+//	experiments -exp fig6 -runs 5 -scale 0.01
+//
+// Results print as aligned text tables; -csvdir writes each table as a
+// CSV file as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/mcmc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	cfg := harness.Default()
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,fig3,fig4a,fig4b,fig5,fig6,fig7,fig8,alpha,baselines,dist,all")
+		csvdir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		scale   = flag.Float64("scale", cfg.Scale, "synthetic graph scale (1 = published sizes)")
+		rscale  = flag.Float64("realscale", cfg.RealScale, "real-world stand-in scale")
+		runs    = flag.Int("runs", cfg.Runs, "runs per (graph, algorithm); best MDL kept (paper: 5)")
+		threads = flag.Int("threads", cfg.Threads, "thread count for modelled speedups (paper: 128)")
+		seed    = flag.Uint64("seed", cfg.Seed, "random seed")
+	)
+	flag.Parse()
+	cfg.Scale, cfg.RealScale, cfg.Runs, cfg.Threads, cfg.Seed = *scale, *rscale, *runs, *threads, *seed
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var tables []*harness.Table
+	emit := func(t *harness.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		tables = append(tables, t)
+	}
+
+	start := time.Now()
+	if need("table1") {
+		emit(cfg.Table1())
+	}
+	if need("table2") {
+		emit(cfg.Table2())
+	}
+	if need("fig2") {
+		emit(cfg.Fig2(nil))
+	}
+	if need("fig3") {
+		points, summary, err := cfg.Fig3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(points, nil)
+		emit(summary, nil)
+	}
+	if need("fig4a", "fig4b", "fig8", "fig8a") {
+		outcomes, err := cfg.SyntheticOutcomes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if need("fig4a") {
+			emit(cfg.Fig4a(outcomes), nil)
+		}
+		if need("fig4b") {
+			emit(cfg.Fig4b(outcomes), nil)
+		}
+		if need("fig8", "fig8a") {
+			emit(cfg.Fig8a(outcomes), nil)
+		}
+	}
+	if need("fig5", "fig6", "fig8", "fig8b") {
+		outcomes, order, err := cfg.RealWorldOutcomes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if need("fig5") {
+			emit(cfg.Fig5(outcomes, order), nil)
+		}
+		if need("fig6") {
+			emit(cfg.Fig6(outcomes, order), nil)
+		}
+		if need("fig8", "fig8b") {
+			emit(cfg.Fig8b(outcomes, order), nil)
+		}
+	}
+	if need("fig7") {
+		emit(cfg.Fig7())
+	}
+	if need("alpha") {
+		emit(cfg.FigAlpha())
+	}
+	if need("baselines") {
+		emit(cfg.FigBaselines())
+	}
+	if need("dist", "distributed") {
+		emit(cfg.FigDistributed())
+	}
+
+	if *csvdir != "" {
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			name := slug(t.Title) + ".csv"
+			f, err := os.Create(filepath.Join(*csvdir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d CSV files to %s\n", len(tables), *csvdir)
+	}
+	fmt.Printf("done in %v (algorithms: %v)\n", time.Since(start).Round(time.Second),
+		[]mcmc.Algorithm{mcmc.SerialMH, mcmc.Hybrid, mcmc.AsyncGibbs})
+}
+
+func slug(title string) string {
+	s := strings.ToLower(title)
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		s = s[:i]
+	}
+	return strings.ReplaceAll(strings.TrimSpace(s), " ", "_")
+}

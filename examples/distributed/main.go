@@ -1,0 +1,70 @@
+// Distributed scenario: run the future-work distributed MCMC phase
+// (paper §6: distributing A-SBP/H-SBP across nodes) on a simulated
+// message-passing cluster and inspect the accuracy/communication
+// trade-off as the cluster grows.
+//
+// Every rank owns a vertex partition and a private blockmodel replica;
+// the only per-sweep communication is the membership allgather, whose
+// volume this example reports.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hsbp "repro"
+	"repro/internal/blockmodel"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+)
+
+func main() {
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name:        "distributed",
+		Vertices:    1200,
+		Communities: 8,
+		MinDegree:   5,
+		MaxDegree:   60,
+		Exponent:    2.5,
+		Ratio:       5,
+		SizeSkew:    0.4,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, 8 planted communities\n\n", g.NumVertices(), g.NumEdges())
+
+	// Start every cluster size from the same perturbed partition so the
+	// refinement work is identical.
+	perturbed := append([]int32(nil), truth...)
+	for i := 0; i < len(perturbed); i += 3 {
+		perturbed[i] = int32((int(perturbed[i]) + 1) % 8)
+	}
+
+	fmt.Printf("%6s  %8s  %8s  %10s  %12s\n", "ranks", "mode", "sweeps", "NMI", "traffic")
+	for _, ranks := range []int{1, 2, 4, 8} {
+		for _, mode := range []dist.Mode{dist.ModeAsync, dist.ModeHybrid} {
+			bm, err := blockmodel.FromAssignment(g, perturbed, 8, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := dist.DefaultConfig()
+			cfg.Ranks = ranks
+			st, err := dist.RunMCMCPhase(bm, mode, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nmi, err := metrics.NMI(truth, bm.Assignment)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d  %8s  %8d  %10.3f  %9d kB\n",
+				ranks, mode, st.Sweeps, nmi, st.TrafficBytes/1024)
+		}
+	}
+	fmt.Println("\ntraffic grows with the cluster while quality holds — the membership")
+	fmt.Println("allgather is the only per-sweep exchange (see internal/dist).")
+}

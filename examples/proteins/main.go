@@ -1,0 +1,96 @@
+// Protein-interaction scenario: detect functional modules in a
+// PPI-style network — the paper's second motivating use case
+// (identifying functional groups in protein-protein interaction
+// networks).
+//
+// PPI networks have no ground-truth labels, so this example evaluates
+// with the paper's normalized MDL: a value well below 1 means the found
+// modules compress the network far better than the structureless null
+// model. It also demonstrates graph I/O: the network is written to and
+// re-read from an edge-list file, as you would with real data.
+//
+//	go run ./examples/proteins
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	hsbp "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	// A PPI-style network: dense functional modules of varying size
+	// (complexes and pathways), narrow degree range, noticeable
+	// cross-module interaction.
+	g, _, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name:        "ppi",
+		Vertices:    1500,
+		Communities: 20,
+		MinDegree:   4,
+		MaxDegree:   60,
+		Exponent:    2.8,
+		Ratio:       6,
+		SizeSkew:    0.6,
+		Seed:        13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip through an edge-list file, as with downloaded data.
+	dir, err := os.MkdirTemp("", "ppi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "interactions.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	loaded, err := hsbp.LoadGraph(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protein network: %d proteins, %d interactions (loaded from %s)\n\n",
+		loaded.NumVertices(), loaded.NumEdges(), filepath.Base(path))
+
+	// Run the paper's protocol: several runs, keep the lowest MDL.
+	const runs = 3
+	var best *hsbp.Result
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		opts := hsbp.DefaultOptions(hsbp.HSBP)
+		opts.Seed = uint64(100 + i)
+		res := hsbp.Detect(loaded, opts)
+		fmt.Printf("run %d: %d modules, MDLnorm %.4f\n", i+1, res.NumCommunities, res.NormalizedMDL)
+		if best == nil || res.MDL < best.MDL {
+			best = res
+		}
+	}
+	fmt.Printf("\nbest of %d runs (%v): %d functional modules, MDLnorm %.4f\n",
+		runs, time.Since(start).Round(time.Millisecond), best.NumCommunities, best.NormalizedMDL)
+
+	// Report the largest modules, as a biologist would inspect them.
+	sizes := map[int32]int{}
+	for _, m := range best.Best.Assignment {
+		sizes[m]++
+	}
+	largest, count := int32(-1), 0
+	for m, c := range sizes {
+		if c > count {
+			largest, count = m, c
+		}
+	}
+	fmt.Printf("largest module: #%d with %d proteins (%.1f%% of the network)\n",
+		largest, count, 100*float64(count)/float64(loaded.NumVertices()))
+}

@@ -1,0 +1,71 @@
+// Strong-scaling walkthrough: reproduces the protocol of the paper's
+// Fig 7 on a smaller graph — run H-SBP, then report its MCMC runtime
+// modelled at 1..128 threads from the measured work/span account.
+//
+// On the paper's 128-core EPYC node the measured curve keeps improving
+// to 128 threads with the benefit tapering around 16; the model below
+// reproduces that shape on any host (see DESIGN.md for the
+// bandwidth-saturation calibration). The example also runs the actual
+// goroutine-parallel engine at several worker counts so the real and
+// modelled accounts can be compared on multicore machines.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	hsbp "repro"
+)
+
+func main() {
+	g, _, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name:        "scaling",
+		Vertices:    3000,
+		Communities: 16,
+		MinDegree:   3,
+		MaxDegree:   200,
+		Exponent:    2.3,
+		Ratio:       5,
+		SizeSkew:    0.5,
+		Seed:        21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges; host has %d usable cores\n\n",
+		g.NumVertices(), g.NumEdges(), runtime.GOMAXPROCS(0))
+
+	// One measured run provides the work/span account.
+	opts := hsbp.DefaultOptions(hsbp.HSBP)
+	opts.Seed = 5
+	start := time.Now()
+	res := hsbp.Detect(g, opts)
+	fmt.Printf("H-SBP run: %d communities, MCMC %v, total %v\n\n",
+		res.NumCommunities, res.MCMCTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("modelled strong scaling of the MCMC phase (Fig 7 protocol):")
+	fmt.Printf("%8s  %14s  %8s\n", "threads", "mcmc time (ms)", "speedup")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		fmt.Printf("%8d  %14.1f  %8.2fx\n", p, res.MCMCCost.Time(p)/1e6, res.MCMCCost.Speedup(p))
+	}
+
+	// Measured wall-clock at a few real worker counts (meaningful only
+	// on multicore hosts; on one core all rows take the same time).
+	fmt.Println("\nmeasured wall clock at real goroutine widths:")
+	for _, w := range []int{1, 2, 4} {
+		if w > runtime.GOMAXPROCS(0) {
+			break
+		}
+		o := hsbp.DefaultOptions(hsbp.HSBP)
+		o.Seed = 5
+		o.MCMC.Workers = w
+		o.Merge.Workers = w
+		t0 := time.Now()
+		hsbp.Detect(g, o)
+		fmt.Printf("  %d workers: %v\n", w, time.Since(t0).Round(time.Millisecond))
+	}
+}

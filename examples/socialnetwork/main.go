@@ -1,0 +1,66 @@
+// Social-network scenario: compare the three SBP variants of the paper
+// (serial SBP, asynchronous A-SBP, hybrid H-SBP) on a power-law graph
+// shaped like a follower network — the paper's motivating use case of
+// community detection in social media analysis.
+//
+// The example reproduces the paper's central trade-off in miniature:
+// A-SBP is the most parallel but can lose accuracy on weakly structured
+// graphs, while H-SBP keeps SBP's accuracy by processing the celebrity
+// (high-degree) vertices serially.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hsbp "repro"
+)
+
+func main() {
+	// A follower-style graph: heavy-tailed degrees (a few celebrities,
+	// many lurkers), strongly skewed community sizes, moderate mixing.
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name:        "social",
+		Vertices:    2000,
+		Communities: 12,
+		MinDegree:   2,
+		MaxDegree:   400,
+		Exponent:    2.2,
+		Ratio:       5,
+		SizeSkew:    0.8,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := g.Stats()
+	fmt.Printf("social graph: %d users, %d follows, max degree %d (mean %.1f)\n\n",
+		stats.Vertices, stats.Edges, stats.MaxDegree, stats.MeanDeg)
+
+	fmt.Printf("%-6s  %5s  %8s  %8s  %7s  %8s  %7s\n",
+		"alg", "comms", "NMI", "MDLnorm", "sweeps", "mcmc", "total")
+	for _, alg := range []hsbp.Algorithm{hsbp.SBP, hsbp.HSBP, hsbp.ASBP} {
+		opts := hsbp.DefaultOptions(alg)
+		opts.Seed = 99
+		res := hsbp.Detect(g, opts)
+		nmi, err := hsbp.NMI(truth, res.Best.Assignment)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %5d  %8.3f  %8.4f  %7d  %8v  %7v\n",
+			alg, res.NumCommunities, nmi, res.NormalizedMDL, res.TotalMCMCSweeps,
+			res.MCMCTime.Round(time.Millisecond), res.TotalTime.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nModelled MCMC speedup over serial at the paper's 128 threads")
+	fmt.Println("(work/span account; see DESIGN.md for the bandwidth-saturation model):")
+	base := hsbp.Detect(g, hsbp.DefaultOptions(hsbp.SBP))
+	for _, alg := range []hsbp.Algorithm{hsbp.HSBP, hsbp.ASBP} {
+		res := hsbp.Detect(g, hsbp.DefaultOptions(alg))
+		speedup := base.MCMCCost.Time(128) / res.MCMCCost.Time(128)
+		fmt.Printf("  %-6s %.2fx\n", alg, speedup)
+	}
+}

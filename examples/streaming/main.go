@@ -1,0 +1,68 @@
+// Streaming scenario: edges arrive in batches (the Streaming Graph
+// Challenge setting this algorithm family was designed for) and the
+// partition is refreshed incrementally — warm-started from the previous
+// communities with H-SBP refinement — instead of recomputed from
+// scratch.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hsbp "repro"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func main() {
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name:        "stream",
+		Vertices:    800,
+		Communities: 6,
+		MinDegree:   6,
+		MaxDegree:   40,
+		Exponent:    2.5,
+		Ratio:       6,
+		SizeSkew:    0.3,
+		Seed:        17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Shuffle the edges and split them into 6 arrival batches.
+	edges := g.Edges()
+	r := rng.New(99)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	const batches = 6
+	fmt.Printf("stream: %d edges over %d vertices in %d batches\n\n", len(edges), g.NumVertices(), batches)
+
+	d := stream.NewDetector(stream.DefaultConfig())
+	fmt.Printf("%6s  %8s  %8s  %12s  %8s\n", "batch", "edges", "comms", "NMI(seen)", "time")
+	for b := 0; b < batches; b++ {
+		lo := b * len(edges) / batches
+		hi := (b + 1) * len(edges) / batches
+		batch := make([]graph.Edge, hi-lo)
+		copy(batch, edges[lo:hi])
+		start := time.Now()
+		if err := d.Ingest(batch); err != nil {
+			log.Fatal(err)
+		}
+		nmi, err := metrics.NMI(truth[:d.NumVertices()], d.Assignment())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %8d  %8d  %12.3f  %8v\n",
+			b+1, d.NumEdges(), d.NumCommunities(), nmi, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\neach refresh warm-starts from the previous partition; quality")
+	fmt.Println("climbs toward the planted communities as edges accumulate.")
+}

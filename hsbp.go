@@ -1,0 +1,148 @@
+// Package hsbp is the public API of this reproduction of "On the
+// Parallelization of MCMC for Community Detection" (Wanye, Gleyzer, Kao,
+// Feng — ICPP 2022): stochastic block partitioning (SBP) with four MCMC
+// engines — the serial Metropolis-Hastings baseline, fully parallel
+// asynchronous Gibbs (A-SBP), the paper's hybrid H-SBP that processes
+// the most influential vertices serially and the rest in parallel, and
+// the batched B-SBP extension from the paper's future work.
+//
+// Quick start:
+//
+//	g, truth, _ := hsbp.GenerateSBM(hsbp.SBMSpec{
+//		Vertices: 1000, Communities: 8, MinDegree: 5, MaxDegree: 50,
+//		Exponent: 2.5, Ratio: 4, Seed: 1,
+//	})
+//	res := hsbp.Detect(g, hsbp.DefaultOptions(hsbp.HSBP))
+//	nmi, _ := hsbp.NMI(truth, res.Best.Assignment)
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface a downstream user needs: graph construction and
+// I/O, the DCSBM generator, the detection algorithms, streaming
+// detection, the Louvain/label-propagation baselines, and the
+// evaluation metrics from the paper (NMI, modularity, normalized MDL).
+package hsbp
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/blockmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mcmc"
+	"repro/internal/metrics"
+	"repro/internal/sbp"
+	"repro/internal/stream"
+)
+
+// Graph is a directed multigraph over vertices [0, N).
+type Graph = graph.Graph
+
+// Edge is a directed edge.
+type Edge = graph.Edge
+
+// NewGraph builds a graph with n vertices from an edge list.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// LoadGraph loads an edge-list or MatrixMarket (.mtx) file.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// Algorithm selects the MCMC engine used by Detect.
+type Algorithm = mcmc.Algorithm
+
+// The three SBP variants of the paper.
+const (
+	// SBP is the serial Metropolis-Hastings baseline.
+	SBP = mcmc.SerialMH
+	// ASBP is asynchronous stochastic block partitioning (fully
+	// parallel asynchronous Gibbs).
+	ASBP = mcmc.AsyncGibbs
+	// HSBP is hybrid stochastic block partitioning (influential
+	// vertices serial, the rest parallel) — the paper's headline
+	// algorithm.
+	HSBP = mcmc.Hybrid
+	// BSBP is batched asynchronous SBP, the extension sketched in the
+	// paper's conclusion: staleness is bounded to a fraction of a sweep
+	// by rebuilding the blockmodel between vertex batches.
+	BSBP = mcmc.BatchedGibbs
+)
+
+// Options configures a Detect run; see DefaultOptions.
+type Options = sbp.Options
+
+// Result is the outcome of a Detect run. Result.Best.Assignment holds
+// the detected community of each vertex.
+type Result = sbp.Result
+
+// Blockmodel is the fitted DCSBM state.
+type Blockmodel = blockmodel.Blockmodel
+
+// DefaultOptions returns the configuration used in the paper's
+// experiments for the given algorithm (β=3, 15% hybrid fraction,
+// halving agglomeration, golden-section search).
+func DefaultOptions(alg Algorithm) Options { return sbp.DefaultOptions(alg) }
+
+// Detect performs community detection on g, minimising the DCSBM
+// description length, and returns the best blockmodel found together
+// with timing and work accounting.
+func Detect(g *Graph, opts Options) *Result { return sbp.Run(g, opts) }
+
+// SBMSpec describes a synthetic DCSBM graph; see GenerateSBM.
+type SBMSpec = gen.Spec
+
+// GenerateSBM generates a directed graph with planted communities from a
+// degree-corrected stochastic blockmodel, returning the graph and the
+// ground-truth assignment.
+func GenerateSBM(spec SBMSpec) (*Graph, []int32, error) { return gen.Generate(spec) }
+
+// NMI returns the normalized mutual information between two community
+// assignments (1 = identical partitions).
+func NMI(truth, found []int32) (float64, error) { return metrics.NMI(truth, found) }
+
+// Modularity returns Newman's modularity of an assignment on g.
+func Modularity(g *Graph, assignment []int32) (float64, error) {
+	return metrics.Modularity(g, assignment)
+}
+
+// StreamingDetector performs incremental community detection over a
+// growing edge stream: Ingest a batch of edges, read the refreshed
+// partition from Assignment.
+type StreamingDetector = stream.Detector
+
+// StreamingConfig tunes the incremental refresh; see
+// DefaultStreamingConfig.
+type StreamingConfig = stream.Config
+
+// DefaultStreamingConfig returns a streaming setup with H-SBP
+// refinement.
+func DefaultStreamingConfig() StreamingConfig { return stream.DefaultConfig() }
+
+// NewStreamingDetector returns an empty incremental detector.
+func NewStreamingDetector(cfg StreamingConfig) *StreamingDetector {
+	return stream.NewDetector(cfg)
+}
+
+// Louvain runs the directed Louvain modularity-maximisation baseline
+// and returns the community assignment.
+func Louvain(g *Graph, seed uint64) []int32 { return baselines.Louvain(g, seed) }
+
+// LabelPropagation runs the label-propagation baseline for at most
+// maxSweeps sweeps and returns the community assignment.
+func LabelPropagation(g *Graph, maxSweeps int, seed uint64) []int32 {
+	return baselines.LabelPropagation(g, maxSweeps, seed)
+}
+
+// NormalizedMDL returns the description length of the assignment
+// normalised by the structure-less null model (lower is better; >= 1
+// means no structure found).
+func NormalizedMDL(g *Graph, assignment []int32) (float64, error) {
+	c := int32(0)
+	for _, b := range assignment {
+		if b >= c {
+			c = b + 1
+		}
+	}
+	bm, err := blockmodel.FromAssignment(g, assignment, int(c), 0)
+	if err != nil {
+		return 0, err
+	}
+	return bm.NormalizedMDL(), nil
+}

@@ -1,0 +1,120 @@
+package hsbp_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	hsbp "repro"
+	"repro/internal/rng"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name: "api", Vertices: 150, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 5, SizeSkew: 0.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []hsbp.Algorithm{hsbp.SBP, hsbp.ASBP, hsbp.HSBP} {
+		opts := hsbp.DefaultOptions(alg)
+		opts.Seed = 7
+		res := hsbp.Detect(g, opts)
+		nmi, err := hsbp.NMI(truth, res.Best.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi < 0.8 {
+			t.Fatalf("%v NMI = %.3f", alg, nmi)
+		}
+		mod, err := hsbp.Modularity(g, res.Best.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mod <= 0 {
+			t.Fatalf("%v modularity = %v", alg, mod)
+		}
+		norm, err := hsbp.NormalizedMDL(g, res.Best.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm >= 1 {
+			t.Fatalf("%v normalized MDL = %v", alg, norm)
+		}
+	}
+}
+
+func TestPublicGraphConstruction(t *testing.T) {
+	g, err := hsbp.NewGraph(3, []hsbp.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatal("graph sizes wrong")
+	}
+}
+
+func TestPublicLoadGraph(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := hsbp.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+}
+
+func TestPublicStreamingAPI(t *testing.T) {
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name: "stream-api", Vertices: 200, Communities: 4, MinDegree: 5,
+		MaxDegree: 20, Exponent: 2.5, Ratio: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := hsbp.NewStreamingDetector(hsbp.DefaultStreamingConfig())
+	edges := g.Edges()
+	// Randomise arrival order: a src-major prefix covers only part of
+	// the vertex range and biases the warm start.
+	rn := rng.New(4)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rn.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	half := len(edges) / 2
+	if err := d.Ingest(edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest(edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := hsbp.NMI(truth[:d.NumVertices()], d.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.8 {
+		t.Fatalf("streaming NMI %.3f", nmi)
+	}
+}
+
+func TestPublicBaselinesAPI(t *testing.T) {
+	g, truth, err := hsbp.GenerateSBM(hsbp.SBMSpec{
+		Name: "base-api", Vertices: 200, Communities: 4, MinDegree: 6,
+		MaxDegree: 25, Exponent: 2.5, Ratio: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi, _ := hsbp.NMI(truth, hsbp.Louvain(g, 1)); nmi < 0.6 {
+		t.Fatalf("louvain NMI %.3f", nmi)
+	}
+	if nmi, _ := hsbp.NMI(truth, hsbp.LabelPropagation(g, 100, 1)); nmi < 0.6 {
+		t.Fatalf("labelprop NMI %.3f", nmi)
+	}
+}

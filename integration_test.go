@@ -1,0 +1,119 @@
+package hsbp_test
+
+// End-to-end CLI integration: gengraph writes a dataset, sbp detects
+// communities in it, and the emitted partition scores well against the
+// written ground truth. Exercises the exact workflow the README and the
+// artifact scripts document.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hsbp "repro"
+	"repro/internal/blockmodel"
+	"repro/internal/graph"
+)
+
+// runTool invokes `go run ./cmd/<tool> args...` in the repo root.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateDetectRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.tsv")
+	truthPath := filepath.Join(dir, "g.truth")
+	outPath := filepath.Join(dir, "communities.tsv")
+
+	runTool(t, "gengraph",
+		"-vertices", "400", "-communities", "5", "-min-degree", "5",
+		"-max-degree", "30", "-ratio", "5", "-seed", "3",
+		"-out", graphPath, "-truth", truthPath)
+
+	out := runTool(t, "sbp",
+		"-graph", graphPath, "-alg", "hsbp", "-runs", "2", "-out", outPath)
+	if !strings.Contains(out, "best:") {
+		t.Fatalf("sbp output missing summary:\n%s", out)
+	}
+
+	g, err := hsbp.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthFile, err := os.Open(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer truthFile.Close()
+	truth, err := blockmodel.ReadAssignment(truthFile, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFile, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer foundFile.Close()
+	found, err := blockmodel.ReadAssignment(foundFile, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := hsbp.NMI(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.8 {
+		t.Fatalf("CLI round trip NMI %.3f", nmi)
+	}
+}
+
+func TestCLIGengraphMatrixMarket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	mtxPath := filepath.Join(dir, "g.mtx")
+	runTool(t, "gengraph",
+		"-vertices", "100", "-communities", "4", "-ratio", "4",
+		"-mtx", "-out", mtxPath)
+	f, err := os.Open(mtxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadMatrixMarket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+}
+
+func TestCLITable1Dataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s5.tsv")
+	runTool(t, "gengraph", "-table1", "S5", "-scale", "0.002", "-out", out)
+	g, err := hsbp.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(g.NumEdges()) / float64(g.NumVertices()); ratio < 10 {
+		t.Fatalf("S5 should be dense, got E/V = %.1f", ratio)
+	}
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// twoCliques is the easiest possible community structure: both
+// baselines must recover it exactly.
+func twoCliques(t *testing.T) (*graph.Graph, []int32) {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: int32(i), Dst: int32(j)})
+				edges = append(edges, graph.Edge{Src: int32(i + 6), Dst: int32(j + 6)})
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{Src: 0, Dst: 6})
+	g := graph.MustNew(12, edges)
+	truth := make([]int32, 12)
+	for v := 6; v < 12; v++ {
+		truth[v] = 1
+	}
+	return g, truth
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g, truth := twoCliques(t)
+	found := LabelPropagation(g, 50, 1)
+	nmi, err := metrics.NMI(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.99 {
+		t.Fatalf("label propagation NMI %.3f on two cliques", nmi)
+	}
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g, truth := twoCliques(t)
+	found := Louvain(g, 1)
+	nmi, err := metrics.NMI(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.99 {
+		t.Fatalf("louvain NMI %.3f on two cliques", nmi)
+	}
+}
+
+func TestLouvainImprovesModularity(t *testing.T) {
+	g, _, err := gen.Generate(gen.Spec{
+		Name: "lv", Vertices: 400, Communities: 8, MinDegree: 4, MaxDegree: 30,
+		Exponent: 2.5, Ratio: 5, SizeSkew: 0.3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := Louvain(g, 2)
+	q, err := metrics.Modularity(g, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.3 {
+		t.Fatalf("louvain modularity %.3f on structured graph", q)
+	}
+	// The found community count must be far below V (aggregation works).
+	k := int32(0)
+	for _, l := range found {
+		if l >= k {
+			k = l + 1
+		}
+	}
+	if int(k) >= g.NumVertices()/2 {
+		t.Fatalf("louvain barely aggregated: %d communities of %d vertices", k, g.NumVertices())
+	}
+}
+
+func TestLabelPropagationRecoversStrongStructure(t *testing.T) {
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "lp", Vertices: 400, Communities: 5, MinDegree: 6, MaxDegree: 30,
+		Exponent: 2.5, Ratio: 8, SizeSkew: 0, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := LabelPropagation(g, 100, 7)
+	nmi, err := metrics.NMI(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.7 {
+		t.Fatalf("label propagation NMI %.3f on strong structure", nmi)
+	}
+}
+
+func TestBaselinesDeterministicGivenSeed(t *testing.T) {
+	g, _ := twoCliques(t)
+	a := LabelPropagation(g, 50, 9)
+	b := LabelPropagation(g, 50, 9)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("label propagation not deterministic")
+		}
+	}
+	la := Louvain(g, 9)
+	lb := Louvain(g, 9)
+	for v := range la {
+		if la[v] != lb[v] {
+			t.Fatal("louvain not deterministic")
+		}
+	}
+}
+
+func TestBaselinesDegenerateInputs(t *testing.T) {
+	empty := graph.MustNew(5, nil)
+	if got := LabelPropagation(empty, 10, 1); len(got) != 5 {
+		t.Fatal("label propagation wrong length on edgeless graph")
+	}
+	if got := Louvain(empty, 1); len(got) != 5 {
+		t.Fatal("louvain wrong length on edgeless graph")
+	}
+	single := graph.MustNew(1, nil)
+	if got := Louvain(single, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatal("louvain wrong on single vertex")
+	}
+	loops := graph.MustNew(2, []graph.Edge{{Src: 0, Dst: 0}, {Src: 1, Dst: 1}})
+	if got := LabelPropagation(loops, 10, 1); len(got) != 2 {
+		t.Fatal("label propagation wrong on self-loop graph")
+	}
+}
+
+func TestRelabelDense(t *testing.T) {
+	got := relabel([]int32{7, 7, 3, 9, 3})
+	want := []int32{0, 0, 1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("relabel = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package baselines implements the two faster-but-less-robust community
+// detection families the paper positions SBP against (§1): modularity
+// maximisation (Louvain) and label propagation. They serve as reference
+// points in the experiment harness — the paper's motivation is that SBP
+// handles graphs with highly varied community sizes and heavy
+// between-community connectivity where these methods degrade.
+package baselines
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// LabelPropagation runs asynchronous label propagation: every vertex
+// repeatedly adopts the label most frequent among its neighbours (both
+// edge directions, counting multiplicity), visiting vertices in a fresh
+// random order each sweep, until no label changes or maxSweeps is
+// reached. Ties break towards keeping the current label, then towards
+// the smallest label id (deterministic given the seed).
+//
+// Returns the dense-relabelled community assignment.
+func LabelPropagation(g *graph.Graph, maxSweeps int, seed uint64) []int32 {
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	if maxSweeps < 1 {
+		maxSweeps = 100
+	}
+	rn := rng.New(seed)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := map[int32]int{}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rn.ShuffleInts(order)
+		changed := 0
+		for _, v := range order {
+			clear(counts)
+			for _, u := range g.OutNeighbors(v) {
+				if int(u) != v {
+					counts[labels[u]]++
+				}
+			}
+			for _, u := range g.InNeighbors(v) {
+				if int(u) != v {
+					counts[labels[u]]++
+				}
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			// Pick the most frequent label; among ties the current label
+			// wins, then the smallest id (deterministic despite map
+			// iteration order).
+			cur := labels[v]
+			best := int32(-1)
+			bestCount := 0
+			for l, c := range counts {
+				switch {
+				case c > bestCount:
+					best, bestCount = l, c
+				case c == bestCount && (best != cur) && (l == cur || l < best):
+					best = l
+				}
+			}
+			if best >= 0 && best != cur {
+				labels[v] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return relabel(labels)
+}
+
+// relabel maps labels onto a dense 0..k-1 range, ordered by first
+// appearance.
+func relabel(a []int32) []int32 {
+	seen := make(map[int32]int32, 64)
+	out := make([]int32, len(a))
+	for i, v := range a {
+		id, ok := seen[v]
+		if !ok {
+			id = int32(len(seen))
+			seen[v] = id
+		}
+		out[i] = id
+	}
+	return out
+}

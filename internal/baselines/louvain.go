@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Louvain runs the Louvain method with the directed modularity
+//
+//	Q = Σ_c [ e_cc/E − (d_out_c · d_in_c)/E² ]
+//
+// (the same objective internal/metrics reports): a local-moving phase
+// greedily reassigns vertices to the neighbouring community with the
+// best ΔQ until no move improves, then the community graph is
+// aggregated and the procedure repeats until modularity stops
+// improving. Returns the dense-relabelled assignment on the original
+// vertices.
+func Louvain(g *graph.Graph, seed uint64) []int32 {
+	rn := rng.New(seed)
+	// mapping[v] is v's community in the original graph.
+	mapping := make([]int32, g.NumVertices())
+	for v := range mapping {
+		mapping[v] = int32(v)
+	}
+	cur := g
+	for level := 0; level < 32; level++ { // depth cap; real runs need ~5
+		labels, improved := localMoving(cur, rn)
+		if !improved && level > 0 {
+			break
+		}
+		labels = relabel(labels)
+		// Fold this level's labels into the global mapping.
+		for v := range mapping {
+			mapping[v] = labels[mapping[v]]
+		}
+		next := aggregate(cur, labels)
+		if next.NumVertices() == cur.NumVertices() {
+			break // no communities merged; a further level changes nothing
+		}
+		cur = next
+		if !improved {
+			break
+		}
+	}
+	return relabel(mapping)
+}
+
+// localMoving performs the greedy vertex-moving phase on g, returning
+// the labels and whether any move was applied.
+func localMoving(g *graph.Graph, rn *rng.RNG) ([]int32, bool) {
+	n := g.NumVertices()
+	e := float64(g.NumEdges())
+	labels := make([]int32, n)
+	dOutCom := make([]float64, n) // community out-degree totals
+	dInCom := make([]float64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = int32(v)
+		dOutCom[v] = float64(g.OutDegree(v))
+		dInCom[v] = float64(g.InDegree(v))
+	}
+	if e == 0 {
+		return labels, false
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	improvedAny := false
+	toCom := map[int32]float64{} // edges v→community (both directions combined)
+	for pass := 0; pass < 100; pass++ {
+		rn.ShuffleInts(order)
+		moves := 0
+		for _, v := range order {
+			cv := labels[v]
+			kOut := float64(g.OutDegree(v))
+			kIn := float64(g.InDegree(v))
+			clear(toCom)
+			var selfLoops float64
+			for _, u := range g.OutNeighbors(v) {
+				if int(u) == v {
+					selfLoops++
+					continue
+				}
+				toCom[labels[u]]++
+			}
+			for _, u := range g.InNeighbors(v) {
+				if int(u) != v {
+					toCom[labels[u]]++
+				}
+			}
+			// Remove v from its community for the gain computation.
+			dOutCom[cv] -= kOut
+			dInCom[cv] -= kIn
+
+			// ΔQ of joining community c:
+			//   k_{v↔c}/E − (kOut·dIn_c + kIn·dOut_c)/E²
+			gain := func(c int32) float64 {
+				return toCom[c]/e - (kOut*dInCom[c]+kIn*dOutCom[c])/(e*e)
+			}
+			// Only a strictly better gain moves v, so the phase
+			// terminates; staying put wins all ties.
+			best := cv
+			bestGain := gain(cv)
+			for c := range toCom {
+				if c == cv {
+					continue
+				}
+				if gn := gain(c); gn > bestGain+1e-12 {
+					best, bestGain = c, gn
+				}
+			}
+			dOutCom[best] += kOut
+			dInCom[best] += kIn
+			if best != cv {
+				labels[v] = best
+				moves++
+				improvedAny = true
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return labels, improvedAny
+}
+
+// aggregate builds the community graph: one vertex per label, one edge
+// per original edge between (possibly equal) labels.
+func aggregate(g *graph.Graph, labels []int32) *graph.Graph {
+	k := int32(0)
+	for _, l := range labels {
+		if l >= k {
+			k = l + 1
+		}
+	}
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			edges = append(edges, graph.Edge{Src: labels[v], Dst: labels[u]})
+		}
+	}
+	return graph.MustNew(int(k), edges)
+}

@@ -1,0 +1,207 @@
+package blockmodel
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// fixture returns a small directed graph with two obvious communities
+// {0,1,2} and {3,4,5}, plus a self-loop and a bridge edge.
+func fixture(t *testing.T) (*graph.Graph, []int32) {
+	t.Helper()
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 1, Dst: 0},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3}, {Src: 4, Dst: 3},
+		{Src: 2, Dst: 3}, // bridge
+		{Src: 0, Dst: 0}, // self-loop
+	}
+	g, err := graph.New(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []int32{0, 0, 0, 1, 1, 1}
+}
+
+// randomGraph generates a random multigraph and assignment for property
+// tests.
+func randomGraph(r *rng.RNG, n, e, c int) (*graph.Graph, []int32) {
+	edges := make([]graph.Edge, e)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(r.Intn(n)), Dst: int32(r.Intn(n))}
+	}
+	assignment := make([]int32, n)
+	for v := range assignment {
+		assignment[v] = int32(r.Intn(c))
+	}
+	return graph.MustNew(n, edges), assignment
+}
+
+func TestFromAssignmentCounts(t *testing.T) {
+	g, assign := fixture(t)
+	bm, err := FromAssignment(g, assign, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within block 0: (0,1),(1,2),(2,0),(1,0),(0,0) = 5 edges.
+	if got := bm.M.Get(0, 0); got != 5 {
+		t.Fatalf("M[0][0] = %d, want 5", got)
+	}
+	if got := bm.M.Get(0, 1); got != 1 {
+		t.Fatalf("M[0][1] = %d, want 1 (bridge)", got)
+	}
+	if got := bm.M.Get(1, 0); got != 0 {
+		t.Fatalf("M[1][0] = %d, want 0", got)
+	}
+	if got := bm.M.Get(1, 1); got != 4 {
+		t.Fatalf("M[1][1] = %d, want 4", got)
+	}
+	if bm.DOut[0] != 6 || bm.DIn[0] != 5 {
+		t.Fatalf("block 0 degrees: out=%d in=%d", bm.DOut[0], bm.DIn[0])
+	}
+	if bm.Sizes[0] != 3 || bm.Sizes[1] != 3 {
+		t.Fatalf("sizes: %v", bm.Sizes)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromAssignmentRejectsBad(t *testing.T) {
+	g, assign := fixture(t)
+	if _, err := FromAssignment(g, assign[:3], 2, 1); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := append([]int32(nil), assign...)
+	bad[0] = 7
+	if _, err := FromAssignment(g, bad, 2, 1); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	g, _ := fixture(t)
+	bm := Identity(g, 1)
+	if bm.C != g.NumVertices() {
+		t.Fatalf("identity C = %d", bm.C)
+	}
+	for v, b := range bm.Assignment {
+		if int(b) != v {
+			t.Fatalf("vertex %d in block %d", v, b)
+		}
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRebuildMatchesSerial(t *testing.T) {
+	r := rng.New(5)
+	g, assign := randomGraph(r, 200, 1000, 17)
+	serial, err := FromAssignment(g, assign, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FromAssignment(g, assign, 17, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.M.Equal(par.M) {
+		t.Fatal("parallel rebuild differs from serial")
+	}
+	for i := range serial.DOut {
+		if serial.DOut[i] != par.DOut[i] || serial.DIn[i] != par.DIn[i] || serial.Sizes[i] != par.Sizes[i] {
+			t.Fatalf("degree/size mismatch at block %d", i)
+		}
+	}
+}
+
+func TestRebuildFrom(t *testing.T) {
+	g, assign := fixture(t)
+	bm, err := FromAssignment(g, assign, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := []int32{0, 0, 1, 1, 1, 0} // scramble
+	bm.RebuildFrom(next, 2)
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bm.Sizes[0] != 3 || bm.Sizes[1] != 3 {
+		t.Fatalf("sizes after rebuild: %v", bm.Sizes)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g, assign := fixture(t)
+	bm, _ := FromAssignment(g, assign, 2, 1)
+	cp := bm.Clone()
+	cp.Assignment[0] = 1
+	cp.M.Add(0, 0, 5)
+	cp.DOut[0] += 3
+	if bm.Assignment[0] != 0 || bm.M.Get(0, 0) != 5 || bm.DOut[0] != 6 {
+		t.Fatal("clone aliases original")
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	g, _ := fixture(t)
+	// Blocks 0 and 2 used; block 1 empty.
+	bm, err := FromAssignment(g, []int32{0, 0, 0, 2, 2, 2}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remap := bm.Compact(1)
+	if bm.C != 2 {
+		t.Fatalf("C after compact = %d", bm.C)
+	}
+	if remap[0] != 0 || remap[1] != -1 || remap[2] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactNoopWhenFull(t *testing.T) {
+	g, assign := fixture(t)
+	bm, _ := FromAssignment(g, assign, 2, 1)
+	before := bm.M.Clone()
+	bm.Compact(1)
+	if bm.C != 2 || !bm.M.Equal(before) {
+		t.Fatal("compact changed an already-compact model")
+	}
+}
+
+func TestNumNonEmptyBlocks(t *testing.T) {
+	g, _ := fixture(t)
+	bm, _ := FromAssignment(g, []int32{0, 0, 0, 3, 3, 3}, 4, 1)
+	if got := bm.NumNonEmptyBlocks(); got != 2 {
+		t.Fatalf("non-empty = %d, want 2", got)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g, assign := fixture(t)
+	bm, _ := FromAssignment(g, assign, 2, 1)
+	bm.M.Add(0, 1, 1) // corrupt the matrix
+	if bm.Validate() == nil {
+		t.Fatal("corrupted matrix passed validation")
+	}
+
+	bm, _ = FromAssignment(g, assign, 2, 1)
+	bm.DOut[0]++ // corrupt a degree
+	if bm.Validate() == nil {
+		t.Fatal("corrupted degree passed validation")
+	}
+
+	bm, _ = FromAssignment(g, assign, 2, 1)
+	bm.Sizes[1]-- // corrupt a size
+	if bm.Validate() == nil {
+		t.Fatal("corrupted size passed validation")
+	}
+}

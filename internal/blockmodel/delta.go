@@ -1,0 +1,291 @@
+package blockmodel
+
+import "math"
+
+// This file implements the incremental ΔMDL computations at the core of
+// every SBP variant. Moving vertex v from block r to block s (or merging
+// block r into s) only changes rows r, s and columns r, s of the block
+// matrix plus the four block degrees, so the likelihood delta is computed
+// over that restricted set — O(deg(v) + nnz(rows/cols r,s)) instead of
+// O(nnz(M)).
+//
+// Proposal evaluation runs once per vertex per sweep and is the hot path
+// of the whole system, so all intermediates live in a reusable Scratch
+// owned by the calling worker, built on generation-stamped blockVec
+// containers with O(1) reset and no hashing.
+
+// Scratch holds the reusable intermediates of move evaluation. Each
+// worker goroutine owns one Scratch; a Scratch must not be shared
+// concurrently. The MoveDelta returned by EvalMove aliases its Scratch
+// and is invalidated by the next EvalMove/EvalMerge call on the same
+// Scratch.
+type Scratch struct {
+	out, in                blockVec // vertex→block edge tallies
+	rowR, rowS, colR, colS blockVec // restricted matrix view
+	edits                  []edit
+	editRowR, editColR     blockVec // accumulated deltas of row r / column r (Hastings)
+	wFwd, wBwd             blockVec // Hastings neighbour weights
+}
+
+// NewScratch returns an empty Scratch ready for use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// resetViews prepares the restricted-view containers for block count c.
+func (sc *Scratch) resetViews(c int) {
+	sc.rowR.reset(c)
+	sc.rowS.reset(c)
+	sc.colR.reset(c)
+	sc.colS.reset(c)
+}
+
+// VertexCounts tallies how vertex v's incident edges distribute over
+// blocks under a given assignment. Self-loops are counted separately
+// because a move transfers them from M[r][r] to M[s][s] in one step.
+type VertexCounts struct {
+	out       *blockVec // block → #out-edges of v into that block (v→u, u≠v)
+	in        *blockVec // block → #in-edges of v from that block (u→v, u≠v)
+	SelfLoops int64     // #edges v→v
+	KOut      int64     // total out-degree of v (self-loops included)
+	KIn       int64     // total in-degree of v (self-loops included)
+}
+
+// OutTo returns the number of v's out-edges whose head lies in block t
+// (excluding self-loops). Exposed for tests.
+func (vc VertexCounts) OutTo(t int32) int64 { return vc.out.get(t) }
+
+// InFrom returns the number of v's in-edges whose tail lies in block t
+// (excluding self-loops). Exposed for tests.
+func (vc VertexCounts) InFrom(t int32) int64 { return vc.in.get(t) }
+
+// CountVertex computes VertexCounts for v under the membership vector b,
+// using sc's containers. b may differ from bm.Assignment (the
+// asynchronous engines pass their private membership copies).
+func (bm *Blockmodel) CountVertex(v int, b []int32, sc *Scratch) VertexCounts {
+	sc.out.reset(bm.C)
+	sc.in.reset(bm.C)
+	vc := VertexCounts{out: &sc.out, in: &sc.in}
+	for _, u := range bm.G.OutNeighbors(v) {
+		vc.KOut++
+		if int(u) == v {
+			vc.SelfLoops++
+			continue
+		}
+		sc.out.add(b[u], 1)
+	}
+	for _, u := range bm.G.InNeighbors(v) {
+		vc.KIn++
+		if int(u) == v {
+			continue // the self-loop was counted from the out side
+		}
+		sc.in.add(b[u], 1)
+	}
+	return vc
+}
+
+// edit is a single (row, col, delta) adjustment to the block matrix.
+type edit struct {
+	i, j  int32
+	delta int64
+}
+
+// moveEdits fills sc.edits with the block-matrix adjustments for moving a
+// vertex with counts vc from block r to block s. All edits lie in rows
+// r,s and columns r,s.
+func (sc *Scratch) moveEdits(vc VertexCounts, r, s int32) {
+	sc.edits = sc.edits[:0]
+	vc.out.iterate(func(t int32, c int64) {
+		sc.edits = append(sc.edits, edit{r, t, -c}, edit{s, t, c})
+	})
+	vc.in.iterate(func(t int32, c int64) {
+		sc.edits = append(sc.edits, edit{t, r, -c}, edit{t, s, c})
+	})
+	if vc.SelfLoops > 0 {
+		sc.edits = append(sc.edits, edit{r, r, -vc.SelfLoops}, edit{s, s, vc.SelfLoops})
+	}
+}
+
+// mergeEdits fills sc.edits with the block-matrix adjustments for merging
+// block r into block s: every edge endpoint in r is relabelled s.
+func (bm *Blockmodel) mergeEdits(r, s int32, sc *Scratch) {
+	sc.edits = sc.edits[:0]
+	bm.M.RowNZ(int(r), func(t int32, c int64) {
+		nt := t
+		if t == r {
+			nt = s
+		}
+		sc.edits = append(sc.edits, edit{r, t, -c}, edit{s, nt, c})
+	})
+	bm.M.ColNZ(int(r), func(t int32, c int64) {
+		if t == r {
+			return // the diagonal was handled from the row side
+		}
+		sc.edits = append(sc.edits, edit{t, r, -c}, edit{t, s, c})
+	})
+}
+
+// loadRestricted snapshots rows/cols r and s of bm.M into sc's view.
+func (bm *Blockmodel) loadRestricted(r, s int32, sc *Scratch) {
+	sc.resetViews(bm.C)
+	bm.M.RowNZ(int(r), func(t int32, c int64) { sc.rowR.add(t, c) })
+	bm.M.RowNZ(int(s), func(t int32, c int64) { sc.rowS.add(t, c) })
+	bm.M.ColNZ(int(r), func(t int32, c int64) { sc.colR.add(t, c) })
+	bm.M.ColNZ(int(s), func(t int32, c int64) { sc.colS.add(t, c) })
+}
+
+// applyEdits applies sc.edits to the restricted view. Each edit is
+// applied to every container that covers its coordinate, keeping corner
+// entries (e.g. M[r][s], present in rowR and colS) consistent.
+func (sc *Scratch) applyEdits(r, s int32) {
+	for _, e := range sc.edits {
+		if e.i == r {
+			sc.rowR.add(e.j, e.delta)
+		}
+		if e.i == s {
+			sc.rowS.add(e.j, e.delta)
+		}
+		if e.j == r {
+			sc.colR.add(e.i, e.delta)
+		}
+		if e.j == s {
+			sc.colS.add(e.i, e.delta)
+		}
+	}
+}
+
+// entropyTerm is −m·ln(m / (dOut·dIn)), the description-length
+// contribution of one block-matrix entry; 0 when m is 0.
+func entropyTerm(m, dOut, dIn int64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return -float64(m) * math.Log(float64(m)/(float64(dOut)*float64(dIn)))
+}
+
+// degreePatch is a copy-free view of a degree vector with two entries
+// overridden; it avoids allocating O(C) per proposal. With override
+// unset it reads through to the base vector.
+type degreePatch struct {
+	base     []int64
+	a, b     int32
+	av, bv   int64
+	override bool
+}
+
+func (p degreePatch) at(i int32) int64 {
+	if p.override {
+		switch i {
+		case p.a:
+			return p.av
+		case p.b:
+			return p.bv
+		}
+	}
+	return p.base[i]
+}
+
+// restrictedEntropy sums the description-length contributions of the
+// restricted set in sc given (possibly patched) block degrees, counting
+// corner entries exactly once: rows r and s in full, columns r and s
+// excluding rows r and s.
+func (sc *Scratch) restrictedEntropy(r, s int32, dOut, dIn degreePatch) float64 {
+	var h float64
+	dor, dos := dOut.at(r), dOut.at(s)
+	sc.rowR.iterate(func(t int32, m int64) {
+		h += entropyTerm(m, dor, dIn.at(t))
+	})
+	sc.rowS.iterate(func(t int32, m int64) {
+		h += entropyTerm(m, dos, dIn.at(t))
+	})
+	dir, dis := dIn.at(r), dIn.at(s)
+	sc.colR.iterate(func(t int32, m int64) {
+		if t == r || t == s {
+			return
+		}
+		h += entropyTerm(m, dOut.at(t), dir)
+	})
+	sc.colS.iterate(func(t int32, m int64) {
+		if t == r || t == s {
+			return
+		}
+		h += entropyTerm(m, dOut.at(t), dis)
+	})
+	return h
+}
+
+// MoveDelta holds the result of evaluating a proposed vertex move. It
+// aliases the Scratch it was evaluated with; commit it (ApplyMove) or
+// discard it before the next evaluation on the same Scratch.
+type MoveDelta struct {
+	V          int     // the vertex
+	From, To   int32   // blocks r → s
+	DeltaS     float64 // change in description length (likelihood part); negative is better
+	EmptiesSrc bool    // the move would leave block r empty
+	counts     VertexCounts
+	sc         *Scratch
+}
+
+// EvalMove computes the likelihood ΔS for moving v from its current block
+// (under membership b) to block s, without mutating the model. b is the
+// membership vector the caller is working with — bm.Assignment for the
+// serial engine, a private copy for the asynchronous engines (proposals
+// then use a bounded-staleness view exactly as in the paper).
+func (bm *Blockmodel) EvalMove(v int, s int32, b []int32, sc *Scratch) MoveDelta {
+	r := b[v]
+	md := MoveDelta{V: v, From: r, To: s, sc: sc}
+	if r == s {
+		return md
+	}
+	md.counts = bm.CountVertex(v, b, sc)
+	sc.moveEdits(md.counts, r, s)
+	bm.loadRestricted(r, s, sc)
+	before := sc.restrictedEntropy(r, s, degreePatch{base: bm.DOut}, degreePatch{base: bm.DIn})
+	sc.applyEdits(r, s)
+	// Updated degrees: only blocks r and s change.
+	newDOut := degreePatch{base: bm.DOut, a: r, av: bm.DOut[r] - md.counts.KOut, b: s, bv: bm.DOut[s] + md.counts.KOut, override: true}
+	newDIn := degreePatch{base: bm.DIn, a: r, av: bm.DIn[r] - md.counts.KIn, b: s, bv: bm.DIn[s] + md.counts.KIn, override: true}
+	after := sc.restrictedEntropy(r, s, newDOut, newDIn)
+	md.DeltaS = after - before
+	md.EmptiesSrc = bm.Sizes[r] == 1
+	return md
+}
+
+// ApplyMove commits a previously evaluated move to the model, updating
+// the matrix, degrees, sizes and assignment in place. The move must have
+// been evaluated against bm.Assignment (serial Metropolis-Hastings path)
+// and be the most recent evaluation on its Scratch.
+func (bm *Blockmodel) ApplyMove(md MoveDelta) {
+	if md.From == md.To {
+		return
+	}
+	for _, e := range md.sc.edits {
+		bm.M.Add(int(e.i), int(e.j), e.delta)
+	}
+	r, s := md.From, md.To
+	bm.DOut[r] -= md.counts.KOut
+	bm.DOut[s] += md.counts.KOut
+	bm.DIn[r] -= md.counts.KIn
+	bm.DIn[s] += md.counts.KIn
+	bm.DTot[r] = bm.DOut[r] + bm.DIn[r]
+	bm.DTot[s] = bm.DOut[s] + bm.DIn[s]
+	bm.Sizes[r]--
+	bm.Sizes[s]++
+	bm.Assignment[md.V] = s
+}
+
+// EvalMerge computes the likelihood ΔS for merging block r into block s,
+// without mutating the model. The model-complexity term is omitted: every
+// merge reduces the block count by exactly one, so it is a constant
+// offset when ranking merges (Algorithm 1 sorts on this delta).
+func (bm *Blockmodel) EvalMerge(r, s int32, sc *Scratch) float64 {
+	if r == s {
+		return 0
+	}
+	bm.mergeEdits(r, s, sc)
+	bm.loadRestricted(r, s, sc)
+	before := sc.restrictedEntropy(r, s, degreePatch{base: bm.DOut}, degreePatch{base: bm.DIn})
+	sc.applyEdits(r, s)
+	newDOut := degreePatch{base: bm.DOut, a: r, av: 0, b: s, bv: bm.DOut[s] + bm.DOut[r], override: true}
+	newDIn := degreePatch{base: bm.DIn, a: r, av: 0, b: s, bv: bm.DIn[s] + bm.DIn[r], override: true}
+	after := sc.restrictedEntropy(r, s, newDOut, newDIn)
+	return after - before
+}

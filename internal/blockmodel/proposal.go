@@ -1,0 +1,203 @@
+package blockmodel
+
+import "repro/internal/rng"
+
+// This file implements the move-proposal distribution and the
+// Metropolis-Hastings correction used by all three SBP variants. The
+// proposal is the one introduced by Peixoto (2014) and used by the Graph
+// Challenge SBP baseline the paper builds on: a proposed block is drawn
+// from the blocks adjacent to a random neighbour's block, which
+// concentrates proposals on plausible moves while a C/(d_t+C) chance of a
+// uniformly random block keeps the chain ergodic.
+
+// ProposeVertexMove draws a candidate block for vertex v given the
+// membership vector b (which may be a staler or fresher view than
+// bm.Assignment in the asynchronous engines):
+//
+//  1. Pick a uniformly random edge incident on v; let t be the block of
+//     the other endpoint under b.
+//  2. With probability C/(d_t + C), propose a uniformly random block.
+//  3. Otherwise, pick a uniformly random edge incident on block t in the
+//     block matrix and propose the block at its other end.
+//
+// Isolated vertices and blocks with no mass in the (possibly stale)
+// matrix fall back to a uniform proposal.
+func (bm *Blockmodel) ProposeVertexMove(v int, b []int32, r *rng.RNG) int32 {
+	k := bm.G.Degree(v)
+	if k == 0 {
+		return int32(r.Intn(bm.C))
+	}
+	u := bm.G.Neighbor(v, r.Intn(k))
+	t := b[u]
+	dt := bm.DTot[t]
+	if dt == 0 || r.Float64() < float64(bm.C)/(float64(dt)+float64(bm.C)) {
+		return int32(r.Intn(bm.C))
+	}
+	return bm.sampleBlockEdgeEndpoint(int(t), r)
+}
+
+// ProposeMerge draws a candidate block for block r to merge into, using
+// the block-level analogue of the vertex proposal. The result is always
+// a block different from r (falling back to uniform resampling when the
+// neighbour-guided draw lands on r). Requires C >= 2.
+func (bm *Blockmodel) ProposeMerge(rBlock int32, rn *rng.RNG) int32 {
+	if bm.C < 2 {
+		panic("blockmodel: ProposeMerge requires at least 2 blocks")
+	}
+	s := bm.proposeMergeOnce(rBlock, rn)
+	for s == rBlock {
+		s = bm.uniformOther(rBlock, rn)
+	}
+	return s
+}
+
+func (bm *Blockmodel) proposeMergeOnce(rBlock int32, rn *rng.RNG) int32 {
+	dr := bm.DTot[rBlock]
+	if dr == 0 {
+		return bm.uniformOther(rBlock, rn)
+	}
+	t := bm.sampleBlockNeighbor(int(rBlock), rn)
+	dt := bm.DTot[t]
+	if dt == 0 || rn.Float64() < float64(bm.C)/(float64(dt)+float64(bm.C)) {
+		return bm.uniformOther(rBlock, rn)
+	}
+	return bm.sampleBlockEdgeEndpoint(int(t), rn)
+}
+
+// uniformOther returns a uniformly random block different from r.
+func (bm *Blockmodel) uniformOther(r int32, rn *rng.RNG) int32 {
+	s := int32(rn.Intn(bm.C - 1))
+	if s >= r {
+		s++
+	}
+	return s
+}
+
+// sampleBlockNeighbor picks the block at the other end of a uniformly
+// random edge incident on block t (an edge counted in row t or column t
+// of M). Requires DTot[t] > 0.
+func (bm *Blockmodel) sampleBlockNeighbor(t int, rn *rng.RNG) int32 {
+	return bm.sampleBlockEdgeEndpoint(t, rn)
+}
+
+// sampleBlockEdgeEndpoint draws x uniform over the DTot[t] edge endpoints
+// incident on block t and walks row t then column t of M to find the
+// block owning the x-th endpoint.
+func (bm *Blockmodel) sampleBlockEdgeEndpoint(t int, rn *rng.RNG) int32 {
+	x := int64(rn.Intn(int(bm.DTot[t])))
+	var chosen int32 = -1
+	if x < bm.DOut[t] {
+		bm.M.RowNZUntil(t, func(s int32, count int64) bool {
+			if x < count {
+				chosen = s
+				return false
+			}
+			x -= count
+			return true
+		})
+	} else {
+		x -= bm.DOut[t]
+		bm.M.ColNZUntil(t, func(s int32, count int64) bool {
+			if x < count {
+				chosen = s
+				return false
+			}
+			x -= count
+			return true
+		})
+	}
+	if chosen < 0 {
+		// Degrees and matrix disagree — possible only with a stale matrix
+		// in the asynchronous engines. Fall back to uniform.
+		return int32(rn.Intn(bm.C))
+	}
+	return chosen
+}
+
+// HastingsCorrection computes p(s→r | b') / p(r→s | b) for an evaluated
+// move, the factor that keeps the Metropolis-Hastings chain reversible
+// under the neighbour-guided proposal. It must be called on the most
+// recent MoveDelta evaluated on its Scratch.
+//
+// Following Peixoto (2014):
+//
+//	p(r→s) = Σ_t (w_t / k_v) · (M[t][s] + M[s][t] + 1) / (d_t + C)
+//
+// where t ranges over the blocks of v's neighbours, w_t is the number of
+// edges between v and block t, and the backward probability uses the
+// post-move matrix and degrees (reconstructed from the move's edit list,
+// so no mutation is needed).
+func (bm *Blockmodel) HastingsCorrection(md *MoveDelta) float64 {
+	r, s := md.From, md.To
+	if r == s {
+		return 1
+	}
+	vc := md.counts
+	kv := float64(vc.KOut + vc.KIn)
+	if kv == 0 {
+		return 1
+	}
+	cf := float64(bm.C)
+	sc := md.sc
+
+	// Combined neighbour-block weights. Self-loop edges attach v to its
+	// own block: r before the move, s after.
+	sc.wFwd.reset(bm.C)
+	vc.out.iterate(func(t int32, c int64) { sc.wFwd.add(t, c) })
+	vc.in.iterate(func(t int32, c int64) { sc.wFwd.add(t, c) })
+	wFwd := &sc.wFwd
+	wBwd := wFwd
+	if vc.SelfLoops > 0 {
+		sc.wBwd.reset(bm.C)
+		wFwd.iterate(func(t int32, c int64) { sc.wBwd.add(t, c) })
+		wBwd = &sc.wBwd
+		wFwd.add(r, 2*vc.SelfLoops)
+		wBwd.add(s, 2*vc.SelfLoops)
+	}
+
+	// After-move lookups: the backward probability only needs post-move
+	// entries of row r and column r, so the edit list is folded into two
+	// stamped vectors; degrees use a two-entry patch.
+	sc.editRowR.reset(bm.C)
+	sc.editColR.reset(bm.C)
+	for _, e := range sc.edits {
+		if e.i == r {
+			sc.editRowR.add(e.j, e.delta)
+		}
+		if e.j == r {
+			sc.editColR.add(e.i, e.delta)
+		}
+	}
+	afterRowR := func(t int32) int64 { // M'[r][t]
+		return bm.M.Get(int(r), int(t)) + sc.editRowR.get(t)
+	}
+	afterColR := func(t int32) int64 { // M'[t][r]
+		return bm.M.Get(int(t), int(r)) + sc.editColR.get(t)
+	}
+	dTotAfter := func(t int32) int64 {
+		switch t {
+		case r:
+			return bm.DTot[r] - vc.KOut - vc.KIn
+		case s:
+			return bm.DTot[s] + vc.KOut + vc.KIn
+		default:
+			return bm.DTot[t]
+		}
+	}
+
+	var pFwd, pBwd float64
+	wFwd.iterate(func(t int32, w int64) {
+		mts := bm.M.Get(int(t), int(s))
+		mst := bm.M.Get(int(s), int(t))
+		pFwd += (float64(w) / kv) * (float64(mts+mst) + 1) / (float64(bm.DTot[t]) + cf)
+	})
+	wBwd.iterate(func(t int32, w int64) {
+		mtr := afterColR(t)
+		mrt := afterRowR(t)
+		pBwd += (float64(w) / kv) * (float64(mtr+mrt) + 1) / (float64(dTotAfter(t)) + cf)
+	})
+	if pFwd <= 0 {
+		return 1
+	}
+	return pBwd / pFwd
+}

@@ -1,0 +1,180 @@
+// Package dist implements the distributed-memory direction sketched in
+// the paper's future work: "we plan to study how best to distribute
+// A-SBP and H-SBP in order to further speed up the algorithms and
+// enable processing of graphs that are too large to fit in memory on a
+// single computational node."
+//
+// The substrate is an in-process simulation of a message-passing
+// cluster: each rank runs as a goroutine with strictly private state
+// and communicates only through typed point-to-point channels plus the
+// collectives built on them (barrier, allgather, allreduce). No rank
+// ever reads another rank's memory, so the algorithms written on top
+// are directly portable to a real network transport; the Comm records
+// per-rank traffic so experiments can report communication volume.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point payload. Payloads are passed by
+// reference for speed; senders must not mutate a payload after sending
+// (as with real MPI buffers before completion).
+type message struct {
+	from    int
+	payload interface{}
+}
+
+// Cluster is a set of ranks wired with point-to-point channels.
+type Cluster struct {
+	n     int
+	mail  [][]chan message // mail[to][from]
+	bytes atomic.Int64     // total traffic (modelled bytes)
+}
+
+// NewCluster creates a cluster with n ranks. Channels are buffered so a
+// rank can send to every peer without blocking (bulk-synchronous
+// exchanges never deadlock).
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("dist: cluster size %d", n))
+	}
+	c := &Cluster{n: n, mail: make([][]chan message, n)}
+	for to := 0; to < n; to++ {
+		c.mail[to] = make([]chan message, n)
+		for from := 0; from < n; from++ {
+			c.mail[to][from] = make(chan message, 4)
+		}
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.n }
+
+// TrafficBytes returns the total modelled bytes sent so far.
+func (c *Cluster) TrafficBytes() int64 { return c.bytes.Load() }
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	rank    int
+	cluster *Cluster
+}
+
+// Comm returns rank r's endpoint.
+func (c *Cluster) Comm(r int) *Comm {
+	if r < 0 || r >= c.n {
+		panic(fmt.Sprintf("dist: rank %d outside [0,%d)", r, c.n))
+	}
+	return &Comm{rank: r, cluster: c}
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the cluster size.
+func (c *Comm) Size() int { return c.cluster.n }
+
+// send delivers payload to rank `to`, accounting bytes for the traffic
+// model.
+func (c *Comm) send(to int, payload interface{}, bytes int) {
+	c.cluster.bytes.Add(int64(bytes))
+	c.cluster.mail[to][c.rank] <- message{from: c.rank, payload: payload}
+}
+
+// recv blocks for the next message from rank `from`.
+func (c *Comm) recv(from int) interface{} {
+	m := <-c.cluster.mail[c.rank][from]
+	return m.payload
+}
+
+// Barrier blocks until every rank has entered the barrier. Implemented
+// as a dissemination barrier over the point-to-point channels (log
+// rounds), like a real cluster barrier.
+func (c *Comm) Barrier() {
+	n := c.cluster.n
+	for dist := 1; dist < n; dist <<= 1 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		c.send(to, nil, 0)
+		c.recv(from)
+	}
+}
+
+// AllGatherInt32 exchanges each rank's slice so that every rank returns
+// the same [][]int32 indexed by rank. Slices are shared by reference;
+// receivers must treat them as read-only.
+func (c *Comm) AllGatherInt32(local []int32) [][]int32 {
+	n := c.cluster.n
+	out := make([][]int32, n)
+	out[c.rank] = local
+	for _, peer := range c.peers() {
+		c.send(peer, local, 4*len(local))
+	}
+	for _, peer := range c.peers() {
+		out[peer] = c.recv(peer).([]int32)
+	}
+	return out
+}
+
+// AllReduceFloat64 combines one float64 per rank with op and returns
+// the combined value on every rank (flat exchange; clusters here are
+// small).
+func (c *Comm) AllReduceFloat64(x float64, op func(a, b float64) float64) float64 {
+	for _, peer := range c.peers() {
+		c.send(peer, x, 8)
+	}
+	acc := x
+	for _, peer := range c.peers() {
+		acc = op(acc, c.recv(peer).(float64))
+	}
+	return acc
+}
+
+// AllReduceInt64 is AllReduceFloat64 for int64.
+func (c *Comm) AllReduceInt64(x int64, op func(a, b int64) int64) int64 {
+	for _, peer := range c.peers() {
+		c.send(peer, x, 8)
+	}
+	acc := x
+	for _, peer := range c.peers() {
+		acc = op(acc, c.recv(peer).(int64))
+	}
+	return acc
+}
+
+// peers lists every rank except this one, in a deterministic order.
+func (c *Comm) peers() []int {
+	out := make([]int, 0, c.cluster.n-1)
+	for r := 0; r < c.cluster.n; r++ {
+		if r != c.rank {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run launches body on every rank and waits for all to finish. A panic
+// on any rank is re-raised on the caller after all ranks stop.
+func (c *Cluster) Run(body func(comm *Comm)) {
+	var wg sync.WaitGroup
+	var panicVal atomic.Value
+	for r := 0; r < c.n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicVal.Store(p)
+				}
+			}()
+			body(c.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	if p := panicVal.Load(); p != nil {
+		panic(p)
+	}
+}

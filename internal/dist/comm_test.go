@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierSynchronises(t *testing.T) {
+	const ranks = 5
+	c := NewCluster(ranks)
+	var before, after atomic.Int32
+	c.Run(func(comm *Comm) {
+		before.Add(1)
+		comm.Barrier()
+		// Every rank must have incremented before any rank proceeds.
+		if got := before.Load(); got != ranks {
+			t.Errorf("rank %d passed barrier with only %d arrivals", comm.Rank(), got)
+		}
+		after.Add(1)
+	})
+	if after.Load() != ranks {
+		t.Fatal("not all ranks finished")
+	}
+}
+
+func TestAllGatherInt32(t *testing.T) {
+	const ranks = 4
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		local := []int32{int32(comm.Rank()), int32(comm.Rank() * 10)}
+		all := comm.AllGatherInt32(local)
+		if len(all) != ranks {
+			t.Errorf("gathered %d slices", len(all))
+			return
+		}
+		for r := 0; r < ranks; r++ {
+			if all[r][0] != int32(r) || all[r][1] != int32(r*10) {
+				t.Errorf("rank %d sees wrong data from %d: %v", comm.Rank(), r, all[r])
+			}
+		}
+	})
+}
+
+func TestAllGatherVariableLengths(t *testing.T) {
+	const ranks = 3
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		local := make([]int32, comm.Rank()) // lengths 0, 1, 2
+		for i := range local {
+			local[i] = int32(comm.Rank())
+		}
+		all := comm.AllGatherInt32(local)
+		for r := 0; r < ranks; r++ {
+			if len(all[r]) != r {
+				t.Errorf("segment from rank %d has length %d", r, len(all[r]))
+			}
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	const ranks = 6
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		sum := comm.AllReduceFloat64(float64(comm.Rank()+1), func(a, b float64) float64 { return a + b })
+		if sum != 21 { // 1+2+...+6
+			t.Errorf("rank %d: sum = %v", comm.Rank(), sum)
+		}
+		max := comm.AllReduceInt64(int64(comm.Rank()), func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if max != ranks-1 {
+			t.Errorf("rank %d: max = %v", comm.Rank(), max)
+		}
+	})
+}
+
+func TestRepeatedCollectivesStayAligned(t *testing.T) {
+	// Back-to-back collectives must not cross-deliver payloads.
+	const ranks = 4
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		for round := 0; round < 20; round++ {
+			v := comm.AllReduceInt64(int64(round), func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			})
+			if v != int64(round) {
+				t.Errorf("rank %d round %d: got %d", comm.Rank(), round, v)
+				return
+			}
+		}
+	})
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	const ranks = 3
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		comm.AllGatherInt32(make([]int32, 100)) // 400 bytes to each of 2 peers
+	})
+	want := int64(ranks * (ranks - 1) * 400)
+	if got := c.TrafficBytes(); got != want {
+		t.Fatalf("traffic = %d, want %d", got, want)
+	}
+}
+
+func TestClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank panic not propagated")
+		}
+	}()
+	c := NewCluster(2)
+	c.Run(func(comm *Comm) {
+		if comm.Rank() == 1 {
+			panic("rank failure")
+		}
+		// Rank 0 exits normally; Run must still re-raise rank 1's panic.
+	})
+}
+
+func TestSingleRankCluster(t *testing.T) {
+	c := NewCluster(1)
+	c.Run(func(comm *Comm) {
+		comm.Barrier() // no peers: must not block
+		all := comm.AllGatherInt32([]int32{7})
+		if len(all) != 1 || all[0][0] != 7 {
+			t.Error("single-rank allgather wrong")
+		}
+	})
+}
+
+func TestPartitionBounds(t *testing.T) {
+	covered := make([]bool, 103)
+	for r := 0; r < 7; r++ {
+		lo, hi := PartitionBounds(103, 7, r)
+		for v := lo; v < hi; v++ {
+			if covered[v] {
+				t.Fatalf("vertex %d owned twice", v)
+			}
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			t.Fatalf("vertex %d unowned", v)
+		}
+	}
+}

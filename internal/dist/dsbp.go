@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blockmodel"
+	"repro/internal/rng"
+)
+
+// Distributed A-SBP / H-SBP: the MCMC phase of the paper's algorithms
+// executed bulk-synchronously across ranks. Every rank owns a
+// contiguous vertex range and a private blockmodel replica; a sweep is
+//
+//  1. (H-SBP only) rank 0 runs the serial Metropolis-Hastings pass over
+//     the high-degree set V* on its replica and broadcasts those moves;
+//  2. every rank proposes moves for its owned vertices against its
+//     (stale) replica — exactly the bounded-staleness semantics of the
+//     shared-memory engines;
+//  3. ranks allgather their membership segments (the only per-sweep
+//     communication, V·4 bytes per rank pair) and rebuild replicas.
+//
+// The graph structure is shared read-only between ranks — replicating
+// the immutable adjacency is pointless in a single-process simulation —
+// but all *mutable* state (replica, membership, RNG) is rank-private,
+// so the communication pattern and traffic volume match a real
+// distributed implementation with a replicated blockmodel.
+
+// Mode selects the distributed variant.
+type Mode int
+
+const (
+	// ModeAsync distributes A-SBP (fully asynchronous sweeps).
+	ModeAsync Mode = iota
+	// ModeHybrid distributes H-SBP (rank 0 leads a serial pass over
+	// the influential vertices, then an asynchronous pass everywhere).
+	ModeHybrid
+)
+
+func (m Mode) String() string {
+	if m == ModeHybrid {
+		return "D-H-SBP"
+	}
+	return "D-A-SBP"
+}
+
+// Config holds the distributed-phase tunables.
+type Config struct {
+	Ranks          int     // cluster size (>= 1)
+	Beta           float64 // acceptance inverse temperature
+	Threshold      float64 // convergence threshold t
+	MaxSweeps      int     // sweep cap x
+	HybridFraction float64 // V* share for ModeHybrid
+	Seed           uint64
+}
+
+// DefaultConfig mirrors the shared-memory defaults on 4 ranks.
+func DefaultConfig() Config {
+	return Config{Ranks: 4, Beta: 3, Threshold: 1e-4, MaxSweeps: 100, HybridFraction: 0.15, Seed: 1}
+}
+
+// PhaseStats reports one distributed MCMC phase.
+type PhaseStats struct {
+	Mode         Mode
+	Ranks        int
+	Sweeps       int
+	Proposals    int64
+	Accepts      int64
+	InitialS     float64
+	FinalS       float64
+	Converged    bool
+	TrafficBytes int64 // total bytes exchanged between ranks
+}
+
+// RunMCMCPhase executes the distributed MCMC phase for the given mode
+// on bm in place and returns phase statistics.
+func RunMCMCPhase(bm *blockmodel.Blockmodel, mode Mode, cfg Config) (PhaseStats, error) {
+	if cfg.Ranks < 1 {
+		return PhaseStats{}, fmt.Errorf("dist: rank count %d", cfg.Ranks)
+	}
+	n := bm.G.NumVertices()
+	ranks := cfg.Ranks
+	if ranks > n {
+		ranks = n
+	}
+	st := PhaseStats{Mode: mode, Ranks: ranks, InitialS: bm.MDL()}
+
+	cluster := NewCluster(ranks)
+	master := rng.New(cfg.Seed)
+	rankRNGs := make([]*rng.RNG, ranks)
+	for r := range rankRNGs {
+		rankRNGs[r] = master.Split()
+	}
+
+	// V* for hybrid mode, chosen once from the global degree order.
+	var vStar []int32
+	inStar := make([]bool, n)
+	if mode == ModeHybrid {
+		order := bm.G.VerticesByDegreeDesc()
+		k := int(cfg.HybridFraction * float64(n))
+		if cfg.HybridFraction > 0 && k == 0 {
+			k = 1
+		}
+		vStar = order[:k]
+		for _, v := range vStar {
+			inStar[v] = true
+		}
+	}
+
+	type rankResult struct {
+		sweeps    int
+		proposals int64
+		accepts   int64
+		converged bool
+		final     float64
+	}
+	results := make([]rankResult, ranks)
+	membership := append([]int32(nil), bm.Assignment...)
+
+	cluster.Run(func(comm *Comm) {
+		r := comm.Rank()
+		lo := r * n / ranks
+		hi := (r + 1) * n / ranks
+		rn := rankRNGs[r]
+		sc := blockmodel.NewScratch()
+
+		// Private replica built from the shared immutable graph and the
+		// starting membership.
+		replica, err := blockmodel.FromAssignment(bm.G, membership, bm.C, 1)
+		if err != nil {
+			panic(err)
+		}
+		res := rankResult{}
+		prev := st.InitialS
+
+		for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+			// Hybrid: rank 0 leads the serial pass over V*, then the
+			// resulting V* assignments travel with its segment gather
+			// below (V* moves overwrite the stale values everywhere).
+			var starMoves []int32 // flat (vertex, block) pairs from rank 0
+			if mode == ModeHybrid {
+				if r == 0 {
+					for _, v := range vStar {
+						s := replica.ProposeVertexMove(int(v), replica.Assignment, rn)
+						if s == replica.Assignment[v] {
+							continue
+						}
+						res.proposals++
+						md := replica.EvalMove(int(v), s, replica.Assignment, sc)
+						if md.EmptiesSrc {
+							continue
+						}
+						h := replica.HastingsCorrection(&md)
+						if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
+							replica.ApplyMove(md)
+							res.accepts++
+							starMoves = append(starMoves, v, s)
+						}
+					}
+				}
+				// Broadcast the V* moves (rank 0's list; empty elsewhere).
+				all := comm.AllGatherInt32(starMoves)
+				for i := 0; i+1 < len(all[0]); i += 2 {
+					v, s := all[0][i], all[0][i+1]
+					if r != 0 {
+						applyTo(replica, int(v), s, sc)
+					}
+				}
+			}
+
+			// Asynchronous pass over owned vertices against the stale
+			// replica; accepted moves go into the private segment only.
+			segment := append([]int32(nil), replica.Assignment[lo:hi]...)
+			for v := lo; v < hi; v++ {
+				if mode == ModeHybrid && inStar[v] {
+					continue // already handled serially
+				}
+				s := replica.ProposeVertexMove(v, replica.Assignment, rn)
+				if s == replica.Assignment[v] {
+					continue
+				}
+				res.proposals++
+				md := replica.EvalMove(v, s, replica.Assignment, sc)
+				if md.EmptiesSrc {
+					continue
+				}
+				h := replica.HastingsCorrection(&md)
+				if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
+					segment[v-lo] = s
+					res.accepts++
+				}
+			}
+
+			// Exchange segments; every rank assembles the same global
+			// membership and rebuilds its replica from it.
+			segments := comm.AllGatherInt32(segment)
+			assembled := make([]int32, 0, n)
+			for peer := 0; peer < ranks; peer++ {
+				assembled = append(assembled, segments[peer]...)
+			}
+			replica.RebuildFrom(assembled, 1)
+			res.sweeps++
+
+			cur := replica.MDL()
+			if math.Abs(prev-cur) <= cfg.Threshold*math.Abs(cur) {
+				res.converged = true
+				res.final = cur
+				break
+			}
+			prev = cur
+			res.final = cur
+		}
+		if r == 0 {
+			copy(membership, replica.Assignment)
+		}
+		results[r] = res
+	})
+
+	// Every replica followed the same deterministic exchange, so rank
+	// 0's membership is the global result.
+	bm.RebuildFrom(membership, 1)
+	st.FinalS = bm.MDL()
+	first := results[0]
+	st.Sweeps = first.sweeps
+	st.Converged = first.converged
+	for _, r := range results {
+		st.Proposals += r.proposals
+		st.Accepts += r.accepts
+	}
+	st.TrafficBytes = cluster.TrafficBytes()
+	return st, nil
+}
+
+// acceptMove is the shared Metropolis-Hastings acceptance rule.
+func acceptMove(deltaS, hastings, beta float64, rn *rng.RNG) bool {
+	a := math.Exp(-beta*deltaS) * hastings
+	return a >= 1 || rn.Float64() < a
+}
+
+// applyTo moves vertex v to block s on a replica, keeping counts
+// consistent.
+func applyTo(replica *blockmodel.Blockmodel, v int, s int32, sc *blockmodel.Scratch) {
+	if replica.Assignment[v] == s {
+		return
+	}
+	md := replica.EvalMove(v, s, replica.Assignment, sc)
+	replica.ApplyMove(md)
+}
+
+// PartitionBounds returns the contiguous vertex range owned by rank r
+// of `ranks` over n vertices. Exposed for tests and tooling.
+func PartitionBounds(n, ranks, r int) (lo, hi int) {
+	return r * n / ranks, (r + 1) * n / ranks
+}
+
+// Describe returns a short human-readable summary of a phase result.
+func (st PhaseStats) Describe() string {
+	return fmt.Sprintf("%s ranks=%d sweeps=%d accepts=%d/%d traffic=%dB ΔS=%.1f",
+		st.Mode, st.Ranks, st.Sweeps, st.Accepts, st.Proposals,
+		st.TrafficBytes, st.FinalS-st.InitialS)
+}

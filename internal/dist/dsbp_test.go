@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/blockmodel"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// distModel builds a structured blockmodel perturbed away from truth so
+// the distributed phase has real work to do.
+func distModel(t *testing.T, seed uint64) (*blockmodel.Blockmodel, []int32) {
+	t.Helper()
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "dist", Vertices: 200, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	perturbed := append([]int32(nil), truth...)
+	for v := range perturbed {
+		if r.Float64() < 0.3 {
+			perturbed[v] = int32(r.Intn(4))
+		}
+	}
+	bm, err := blockmodel.FromAssignment(g, perturbed, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm, truth
+}
+
+func testCfg(ranks int) Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MaxSweeps = 40
+	return cfg
+}
+
+func TestDistributedAsyncReducesMDL(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 7} {
+		bm, _ := distModel(t, 3)
+		st, err := RunMCMCPhase(bm, ModeAsync, testCfg(ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FinalS >= st.InitialS {
+			t.Fatalf("ranks=%d: MDL did not improve: %v -> %v", ranks, st.InitialS, st.FinalS)
+		}
+		if err := bm.Validate(); err != nil {
+			t.Fatalf("ranks=%d: inconsistent model: %v", ranks, err)
+		}
+	}
+}
+
+func TestDistributedHybridReducesMDL(t *testing.T) {
+	bm, _ := distModel(t, 5)
+	st, err := RunMCMCPhase(bm, ModeHybrid, testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalS >= st.InitialS {
+		t.Fatalf("MDL did not improve: %v -> %v", st.InitialS, st.FinalS)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedQualityMatchesTruthNeighborhood(t *testing.T) {
+	bm, truth := distModel(t, 7)
+	if _, err := RunMCMCPhase(bm, ModeHybrid, testCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := metrics.NMI(truth, bm.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.8 {
+		t.Fatalf("distributed hybrid NMI %.3f < 0.8", nmi)
+	}
+}
+
+func TestDistributedTrafficGrowsWithRanks(t *testing.T) {
+	traffic := func(ranks int) int64 {
+		bm, _ := distModel(t, 9)
+		cfg := testCfg(ranks)
+		cfg.MaxSweeps = 5
+		cfg.Threshold = 0 // fixed sweep count for a fair comparison
+		st, err := RunMCMCPhase(bm, ModeAsync, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.TrafficBytes
+	}
+	if t2, t8 := traffic(2), traffic(8); t8 <= t2 {
+		t.Fatalf("traffic at 8 ranks (%d) not above 2 ranks (%d)", t8, t2)
+	}
+	if t1 := traffic(1); t1 != 0 {
+		t.Fatalf("single rank exchanged %d bytes", t1)
+	}
+}
+
+func TestDistributedDeterministicPerRankCount(t *testing.T) {
+	run := func() []int32 {
+		bm, _ := distModel(t, 11)
+		if _, err := RunMCMCPhase(bm, ModeAsync, testCfg(4)); err != nil {
+			t.Fatal(err)
+		}
+		return append([]int32(nil), bm.Assignment...)
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("distributed phase not deterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestDistributedRejectsBadRanks(t *testing.T) {
+	bm, _ := distModel(t, 13)
+	cfg := testCfg(0)
+	if _, err := RunMCMCPhase(bm, ModeAsync, cfg); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestDistributedMoreRanksThanVertices(t *testing.T) {
+	bm, _ := distModel(t, 15)
+	cfg := testCfg(1000) // clamped to V
+	st, err := RunMCMCPhase(bm, ModeAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ranks > bm.G.NumVertices() {
+		t.Fatalf("ranks %d exceed vertices", st.Ranks)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeAsync.String() != "D-A-SBP" || ModeHybrid.String() != "D-H-SBP" {
+		t.Fatal("mode names changed")
+	}
+}
+
+func TestDistributedHybridBroadcastConsistency(t *testing.T) {
+	// After a hybrid phase, the result must validate and match what the
+	// same membership rebuild produces — i.e. the V* broadcast kept all
+	// replicas aligned (a divergent replica would change the sweep
+	// count or final MDL between rank counts nondeterministically).
+	for _, ranks := range []int{2, 3, 5} {
+		bm, _ := distModel(t, 17)
+		st, err := RunMCMCPhase(bm, ModeHybrid, testCfg(ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bm.Validate(); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if st.FinalS != bm.MDL() {
+			t.Fatalf("ranks=%d: reported final MDL %v != model MDL %v", ranks, st.FinalS, bm.MDL())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package gen
+
+import "testing"
+
+func BenchmarkGenerateSparse(b *testing.B) {
+	spec := Spec{
+		Name: "bench-sparse", Vertices: 10000, Communities: 30, MinDegree: 1,
+		MaxDegree: 100, Exponent: 2.8, Ratio: 3, SizeSkew: 0.5, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateDense(b *testing.B) {
+	spec := Spec{
+		Name: "bench-dense", Vertices: 5000, Communities: 20, MinDegree: 10,
+		MaxDegree: 500, Exponent: 2.5, Ratio: 3, SizeSkew: 0.5, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateRealWorldStandIn(b *testing.B) {
+	spec := RealWorldSpec{Name: "standin", Vertices: 5000, Edges: 40000, Kind: KindSocial, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateRealWorld(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAliasTable(b *testing.B) {
+	weights := make([]float64, 10000)
+	for i := range weights {
+		weights[i] = float64(i%97) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = newAliasTable(weights)
+	}
+}

@@ -1,0 +1,253 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name: "t", Vertices: 500, Communities: 5, MinDegree: 3, MaxDegree: 30,
+		Exponent: 2.5, Ratio: 4, SizeSkew: 0.5, Seed: 1,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero vertices", func(s *Spec) { s.Vertices = 0 }},
+		{"zero communities", func(s *Spec) { s.Communities = 0 }},
+		{"too many communities", func(s *Spec) { s.Communities = s.Vertices + 1 }},
+		{"zero min degree", func(s *Spec) { s.MinDegree = 0 }},
+		{"max < min degree", func(s *Spec) { s.MaxDegree = s.MinDegree - 1 }},
+		{"exponent <= 1", func(s *Spec) { s.Exponent = 1 }},
+		{"negative ratio", func(s *Spec) { s.Ratio = -1 }},
+		{"negative skew", func(s *Spec) { s.SizeSkew = -0.1 }},
+	}
+	for _, m := range mutations {
+		s := validSpec()
+		m.mut(&s)
+		if s.Validate() == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	s := validSpec()
+	g, truth, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != s.Vertices {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if len(truth) != s.Vertices {
+		t.Fatalf("truth length %d", len(truth))
+	}
+	seen := map[int32]bool{}
+	for _, b := range truth {
+		if b < 0 || int(b) >= s.Communities {
+			t.Fatalf("truth label %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != s.Communities {
+		t.Fatalf("only %d of %d communities populated", len(seen), s.Communities)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := validSpec()
+	g1, t1, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, t2, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for v := range t1 {
+		if t1[v] != t2[v] {
+			t.Fatal("same seed, different truth")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	b.Seed = 2
+	ga, _, _ := Generate(a)
+	gb, _, _ := Generate(b)
+	if ga.NumEdges() == gb.NumEdges() {
+		// Edge counts could coincide, so compare adjacency mass too.
+		same := true
+		for v := 0; v < ga.NumVertices() && same; v++ {
+			if ga.OutDegree(v) != gb.OutDegree(v) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRealisedRatioTracksParameter(t *testing.T) {
+	for _, r := range []float64{1, 3, 8} {
+		s := validSpec()
+		s.Ratio = r
+		s.Vertices = 2000
+		g, truth, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within, between := 0, 0
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.OutNeighbors(v) {
+				if truth[v] == truth[u] {
+					within++
+				} else {
+					between++
+				}
+			}
+		}
+		realised := float64(within) / float64(between)
+		if realised < 0.7*r || realised > 1.4*r {
+			t.Errorf("ratio %g realised as %.2f", r, realised)
+		}
+	}
+}
+
+func TestEdgeCountTracksDegreeDistribution(t *testing.T) {
+	s := validSpec()
+	s.Vertices = 3000
+	g, _, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected E = Σθ with θ mean ≈ power-law mean on [3,30] at γ=2.5.
+	mean := g.Stats().MeanDeg / 2 // out-degree mean
+	if mean < 3 || mean > 30 {
+		t.Fatalf("mean out-degree %.2f outside degree bounds", mean)
+	}
+}
+
+func TestCommunitySizes(t *testing.T) {
+	if err := quick.Check(func(vRaw, cRaw uint8, skewRaw uint8) bool {
+		v := int(vRaw)%500 + 10
+		c := int(cRaw)%10 + 1
+		if c > v {
+			c = v
+		}
+		skew := float64(skewRaw) / 64
+		sizes := communitySizes(v, c, skew)
+		total := 0
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			total += s
+		}
+		return total == v && len(sizes) == c
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunitySizesSkewed(t *testing.T) {
+	sizes := communitySizes(1000, 10, 1.0)
+	if sizes[0] <= sizes[9] {
+		t.Fatalf("skewed sizes not decreasing: %v", sizes)
+	}
+	uniform := communitySizes(1000, 10, 0)
+	for _, s := range uniform {
+		if s != 100 {
+			t.Fatalf("uniform sizes: %v", uniform)
+		}
+	}
+}
+
+func TestTruncatedPowerLawBounds(t *testing.T) {
+	r := rng.New(9)
+	for i := 0; i < 10000; i++ {
+		x := truncatedPowerLaw(r, 3, 30, 2.5)
+		if x < 3 || x > 30 {
+			t.Fatalf("sample %v outside [3,30]", x)
+		}
+	}
+	if truncatedPowerLaw(r, 5, 5, 2.5) != 5 {
+		t.Fatal("degenerate range should return the bound")
+	}
+}
+
+func TestTruncatedPowerLawHeavyTail(t *testing.T) {
+	// Lower exponent ⇒ heavier tail ⇒ larger mean.
+	r := rng.New(10)
+	meanAt := func(gamma float64) float64 {
+		var sum float64
+		for i := 0; i < 20000; i++ {
+			sum += truncatedPowerLaw(r, 1, 100, gamma)
+		}
+		return sum / 20000
+	}
+	if meanAt(2.1) <= meanAt(3.5) {
+		t.Fatal("heavier tail did not raise the mean")
+	}
+}
+
+func TestRhoForRatio(t *testing.T) {
+	// ρ must reproduce the requested ratio: within/between =
+	// (ρ + (1−ρ)q)/((1−ρ)(1−q)).
+	for _, tc := range []struct{ r, q float64 }{{3, 0.1}, {1, 0.2}, {10, 0.05}} {
+		rho := rhoForRatio(tc.r, tc.q)
+		within := rho + (1-rho)*tc.q
+		between := (1 - rho) * (1 - tc.q)
+		if got := within / between; math.Abs(got-tc.r) > 1e-9 {
+			t.Errorf("r=%g q=%g: realised %g", tc.r, tc.q, got)
+		}
+	}
+	// Ratios at or below the structureless baseline clamp to 0.
+	if rhoForRatio(0.1, 0.5) != 0 {
+		t.Fatal("sub-baseline ratio should give rho=0")
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	at := newAliasTable(weights)
+	r := rng.New(11)
+	counts := make([]float64, 4)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[at.sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(counts[i]-want) > 0.05*want+50 {
+			t.Fatalf("alias weight %d: %v draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasTableSingleton(t *testing.T) {
+	at := newAliasTable([]float64{7})
+	r := rng.New(12)
+	for i := 0; i < 100; i++ {
+		if at.sample(r) != 0 {
+			t.Fatal("singleton alias table sampled nonzero")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// The paper's real-world evaluation (Table 2) uses 14 directed graphs
+// from the SuiteSparse Matrix Collection. This environment is offline,
+// so each dataset is replaced by a generated stand-in with the same
+// vertex and edge counts and a degree structure typical of its domain.
+// The paper's real-world metrics (normalized MDL, modularity, speedup)
+// do not use ground truth, so the stand-ins exercise exactly the same
+// code paths and measurements. The substitution is recorded in DESIGN.md.
+
+// RealWorldKind captures the structural family used for a stand-in.
+type RealWorldKind int
+
+const (
+	// KindSocial is a heavy-tailed social/citation-style graph
+	// (power-law degrees, moderate community structure).
+	KindSocial RealWorldKind = iota
+	// KindWeb is a web/crawl-style graph (extremely skewed degrees,
+	// strong locally dense communities).
+	KindWeb
+	// KindMesh is a near-regular mesh/engineering graph (narrow degree
+	// range, strong geometric communities) — the barth5/rajat01 family.
+	KindMesh
+	// KindP2P is a peer-to-peer overlay (narrow degrees, little to no
+	// community structure; the paper finds p2p-Gnutella31 has
+	// MDL_norm > 1).
+	KindP2P
+)
+
+// RealWorldSpec describes one Table 2 stand-in.
+type RealWorldSpec struct {
+	Name     string
+	Vertices int
+	Edges    int
+	Kind     RealWorldKind
+	Seed     uint64
+}
+
+// TableTwoSpecs returns stand-ins for the paper's 14 real-world graphs
+// at the given scale (scale 1 matches the published V and E).
+func TableTwoSpecs(scale float64) ([]RealWorldSpec, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("gen: scale %g outside (0,1]", scale)
+	}
+	base := []RealWorldSpec{
+		{Name: "rajat01", Vertices: 6847, Edges: 43262, Kind: KindMesh},
+		{Name: "wiki-Vote", Vertices: 7115, Edges: 103689, Kind: KindSocial},
+		{Name: "barth5", Vertices: 15622, Edges: 61498, Kind: KindMesh},
+		{Name: "cit-HepTh", Vertices: 27770, Edges: 352807, Kind: KindSocial},
+		{Name: "p2p-Gnutella31", Vertices: 62586, Edges: 147892, Kind: KindP2P},
+		{Name: "soc-Epinions1", Vertices: 75879, Edges: 508837, Kind: KindSocial},
+		{Name: "soc-Slashdot0902", Vertices: 82168, Edges: 948464, Kind: KindSocial},
+		{Name: "cnr-2000", Vertices: 325557, Edges: 3216152, Kind: KindWeb},
+		{Name: "amazon0505", Vertices: 410236, Edges: 3356824, Kind: KindSocial},
+		{Name: "higgs-twitter", Vertices: 456626, Edges: 14855842, Kind: KindSocial},
+		{Name: "Stanford-Berkeley", Vertices: 683446, Edges: 7583376, Kind: KindWeb},
+		{Name: "web-BerkStan", Vertices: 685230, Edges: 7600595, Kind: KindWeb},
+		{Name: "amazon-2008", Vertices: 735323, Edges: 5158388, Kind: KindSocial},
+		{Name: "flickr", Vertices: 820878, Edges: 9837214, Kind: KindSocial},
+	}
+	for i := range base {
+		base[i].Seed = uint64(2000 + i)
+		base[i].Vertices = scaleCount(base[i].Vertices, scale, 64)
+		base[i].Edges = scaleCount(base[i].Edges, scale, 128)
+	}
+	return base, nil
+}
+
+func scaleCount(n int, scale float64, min int) int {
+	s := int(float64(n) * scale)
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// GenerateRealWorld realises a stand-in graph for the spec.
+func GenerateRealWorld(spec RealWorldSpec) (*graph.Graph, error) {
+	switch spec.Kind {
+	case KindMesh:
+		return generateMesh(spec)
+	case KindP2P:
+		return generateP2P(spec)
+	case KindWeb:
+		return generateDCSBMStandIn(spec, 4.0, 0.8, 2.1)
+	default: // KindSocial
+		return generateDCSBMStandIn(spec, 2.5, 0.6, 2.3)
+	}
+}
+
+// generateDCSBMStandIn produces a heavy-tailed community graph with the
+// requested edge count by reusing the DCSBM generator and then trimming
+// or topping up to hit E exactly (the metrics compare across graphs, so
+// matching the published V and E matters for normalized MDL).
+func generateDCSBMStandIn(spec RealWorldSpec, ratio, skew, exponent float64) (*graph.Graph, error) {
+	avgOut := float64(spec.Edges) / float64(spec.Vertices)
+	maxDeg := spec.Vertices / 10
+	if maxDeg < 16 {
+		maxDeg = 16
+	}
+	s := Spec{
+		Name:        spec.Name,
+		Vertices:    spec.Vertices,
+		Communities: defaultCommunities(spec.Vertices),
+		MinDegree:   1,
+		MaxDegree:   maxDeg,
+		Exponent:    exponentForMean(avgOut, 1, float64(maxDeg), exponent),
+		Ratio:       ratio,
+		SizeSkew:    skew,
+		Seed:        spec.Seed,
+	}
+	g, _, err := Generate(s)
+	if err != nil {
+		return nil, err
+	}
+	return adjustEdgeCount(g, spec.Edges, spec.Seed^0x5bd1e995)
+}
+
+// exponentForMean picks a truncated-power-law exponent whose mean is
+// close to want, starting from a domain-typical default and bisecting.
+func exponentForMean(want, a, b, initial float64) float64 {
+	mean := func(gamma float64) float64 {
+		// E[X] for density ∝ x^−γ on [a,b].
+		if gamma == 2 {
+			gamma = 2.0001
+		}
+		num := (math.Pow(b, 2-gamma) - math.Pow(a, 2-gamma)) / (2 - gamma)
+		den := (math.Pow(b, 1-gamma) - math.Pow(a, 1-gamma)) / (1 - gamma)
+		return num / den
+	}
+	lo, hi := 1.05, 6.0
+	if mean(lo) < want {
+		return lo
+	}
+	if mean(hi) > want {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if mean(mid) > want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	_ = initial // domain-typical default retained for documentation
+	return (lo + hi) / 2
+}
+
+// adjustEdgeCount trims a random subset of edges or duplicates random
+// existing edges so the graph has exactly want edges, preserving the
+// degree structure.
+func adjustEdgeCount(g *graph.Graph, want int, seed uint64) (*graph.Graph, error) {
+	edges := g.Edges()
+	rn := rng.New(seed)
+	if len(edges) > want {
+		for i := len(edges) - 1; i > 0; i-- { // Fisher-Yates, then truncate
+			j := rn.Intn(i + 1)
+			edges[i], edges[j] = edges[j], edges[i]
+		}
+		edges = edges[:want]
+	} else {
+		for len(edges) < want {
+			edges = append(edges, edges[rn.Intn(len(edges))])
+		}
+	}
+	return graph.New(g.NumVertices(), edges)
+}
+
+// generateMesh produces a quasi-2D lattice with local extra links: a
+// stand-in for finite-element and circuit matrices (barth5, rajat01)
+// whose degrees are narrow and whose communities are geometric patches.
+func generateMesh(spec RealWorldSpec) (*graph.Graph, error) {
+	rn := rng.New(spec.Seed)
+	v := spec.Vertices
+	side := 1
+	for side*side < v {
+		side++
+	}
+	var edges []graph.Edge
+	at := func(x, y int) int32 { return int32((x*side + y) % v) }
+	// 4-neighbour lattice base.
+	for x := 0; x < side && len(edges) < spec.Edges; x++ {
+		for y := 0; y < side && len(edges) < spec.Edges; y++ {
+			src := at(x, y)
+			if int(src) >= v {
+				continue
+			}
+			if x+1 < side && int(at(x+1, y)) < v {
+				edges = append(edges, graph.Edge{Src: src, Dst: at(x+1, y)})
+			}
+			if y+1 < side && int(at(x, y+1)) < v {
+				edges = append(edges, graph.Edge{Src: src, Dst: at(x, y+1)})
+			}
+		}
+	}
+	// Local shortcuts until E is reached (mesh refinement links).
+	for len(edges) < spec.Edges {
+		x, y := rn.Intn(side), rn.Intn(side)
+		dx, dy := rn.Intn(5)-2, rn.Intn(5)-2
+		nx, ny := x+dx, y+dy
+		if nx < 0 || ny < 0 || nx >= side || ny >= side {
+			continue
+		}
+		src, dst := at(x, y), at(nx, ny)
+		if int(src) >= v || int(dst) >= v || src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+	}
+	return graph.New(v, edges[:spec.Edges])
+}
+
+// generateP2P produces a near-random directed graph with narrow degrees
+// and no planted communities: a stand-in for p2p-Gnutella31, on which
+// all algorithms in the paper fail to find structure (MDL_norm > 1).
+func generateP2P(spec RealWorldSpec) (*graph.Graph, error) {
+	rn := rng.New(spec.Seed)
+	v := spec.Vertices
+	edges := make([]graph.Edge, 0, spec.Edges)
+	for len(edges) < spec.Edges {
+		src := int32(rn.Intn(v))
+		dst := int32(rn.Intn(v))
+		if src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+	}
+	return graph.New(v, edges)
+}

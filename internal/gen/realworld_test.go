@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableTwoSpecs(t *testing.T) {
+	specs, err := TableTwoSpecs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 14 {
+		t.Fatalf("%d specs, want 14", len(specs))
+	}
+	// Published sizes preserved at scale 1.
+	byName := map[string]RealWorldSpec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	if s := byName["soc-Slashdot0902"]; s.Vertices != 82168 || s.Edges != 948464 {
+		t.Fatalf("slashdot spec %+v", s)
+	}
+	if s := byName["web-BerkStan"]; s.Kind != KindWeb {
+		t.Fatal("web-BerkStan not classified as web")
+	}
+	if s := byName["p2p-Gnutella31"]; s.Kind != KindP2P {
+		t.Fatal("gnutella not classified as p2p")
+	}
+	if s := byName["barth5"]; s.Kind != KindMesh {
+		t.Fatal("barth5 not classified as mesh")
+	}
+}
+
+func TestTableTwoScaleRejected(t *testing.T) {
+	if _, err := TableTwoSpecs(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := TableTwoSpecs(2); err == nil {
+		t.Fatal("scale 2 accepted")
+	}
+}
+
+func TestGenerateRealWorldMatchesSpecSizes(t *testing.T) {
+	specs, err := TableTwoSpecs(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		g, err := GenerateRealWorld(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if g.NumVertices() != s.Vertices {
+			t.Errorf("%s: V=%d, want %d", s.Name, g.NumVertices(), s.Vertices)
+		}
+		if g.NumEdges() != s.Edges {
+			t.Errorf("%s: E=%d, want %d", s.Name, g.NumEdges(), s.Edges)
+		}
+	}
+}
+
+func TestMeshNarrowDegrees(t *testing.T) {
+	g, err := generateMesh(RealWorldSpec{Name: "mesh", Vertices: 1000, Edges: 4000, Seed: 5, Kind: KindMesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().MaxDegree > 60 {
+		t.Fatalf("mesh max degree %d too high", g.Stats().MaxDegree)
+	}
+}
+
+func TestP2PNoSelfLoops(t *testing.T) {
+	g, err := generateP2P(RealWorldSpec{Name: "p2p", Vertices: 500, Edges: 1500, Seed: 6, Kind: KindP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().SelfLoops != 0 {
+		t.Fatal("p2p generator produced self-loops")
+	}
+}
+
+func TestSocialHeavyTail(t *testing.T) {
+	spec := RealWorldSpec{Name: "soc", Vertices: 2000, Edges: 12000, Kind: KindSocial, Seed: 7}
+	g, err := GenerateRealWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A heavy-tailed graph has a max degree far above the mean.
+	stats := g.Stats()
+	if float64(stats.MaxDegree) < 4*stats.MeanDeg {
+		t.Fatalf("social stand-in not heavy-tailed: max=%d mean=%.1f", stats.MaxDegree, stats.MeanDeg)
+	}
+}
+
+func TestAdjustEdgeCountBothDirections(t *testing.T) {
+	spec := RealWorldSpec{Name: "x", Vertices: 300, Edges: 900, Kind: KindSocial, Seed: 8}
+	g, err := GenerateRealWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := adjustEdgeCount(g, 1200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NumEdges() != 1200 {
+		t.Fatalf("top-up gave %d edges", up.NumEdges())
+	}
+	down, err := adjustEdgeCount(g, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.NumEdges() != 500 {
+		t.Fatalf("trim gave %d edges", down.NumEdges())
+	}
+}
+
+func TestExponentForMean(t *testing.T) {
+	// The bisected exponent must deliver approximately the wanted mean.
+	for _, want := range []float64{2, 5, 15} {
+		gamma := exponentForMean(want, 1, 200, 2.3)
+		mean := powerLawMean(1, 200, gamma)
+		if mean < want*0.8 || mean > want*1.2 {
+			t.Errorf("want mean %g, exponent %g gives %g", want, gamma, mean)
+		}
+	}
+}
+
+// powerLawMean mirrors the closed form used inside exponentForMean.
+func powerLawMean(a, b, gamma float64) float64 {
+	if gamma == 2 {
+		gamma = 2.0001
+	}
+	num := (math.Pow(b, 2-gamma) - math.Pow(a, 2-gamma)) / (2 - gamma)
+	den := (math.Pow(b, 1-gamma) - math.Pow(a, 1-gamma)) / (1 - gamma)
+	return num / den
+}
+
+func TestGenerateRealWorldDeterministic(t *testing.T) {
+	spec := RealWorldSpec{Name: "det", Vertices: 500, Edges: 3000, Kind: KindSocial, Seed: 21}
+	a, err := GenerateRealWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRealWorld(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same spec, different edge counts")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.OutDegree(v) != b.OutDegree(v) {
+			t.Fatalf("same spec, different degree at %d", v)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTableOneSpecBounds(t *testing.T) {
+	if _, err := TableOneSpec(0, 1); err == nil {
+		t.Fatal("S0 accepted")
+	}
+	if _, err := TableOneSpec(25, 1); err == nil {
+		t.Fatal("S25 accepted")
+	}
+	if _, err := TableOneSpec(1, 0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := TableOneSpec(1, 1.5); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}
+
+func TestTableOneSpecsAllValid(t *testing.T) {
+	specs, err := TableOneSpecs(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 24 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTableOneStructure(t *testing.T) {
+	// Dense quartets (S5–S8 pattern) must have larger E/V than sparse
+	// quartets, and r must decrease across the three groups.
+	specs, err := TableOneSpecs(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[4].MinDegree <= specs[0].MinDegree {
+		t.Fatal("dense quartet not denser than sparse quartet")
+	}
+	if !(specs[0].Ratio > specs[8].Ratio && specs[8].Ratio > specs[16].Ratio) {
+		t.Fatalf("r not decreasing across groups: %g %g %g",
+			specs[0].Ratio, specs[8].Ratio, specs[16].Ratio)
+	}
+	// Names match Sn.
+	for i, s := range specs {
+		if want := fmt.Sprintf("S%d", i+1); s.Name != want {
+			t.Fatalf("spec %d named %s", i, s.Name)
+		}
+	}
+}
+
+func TestTableOneDensityRealised(t *testing.T) {
+	// At scale 0.01, a sparse graph should land near E/V ≈ 1.6–2.5 and a
+	// dense one near E/V ≈ 18–32, mirroring Table 1.
+	sparse, err := TableOneSpec(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Generate(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 1.0 || ratio > 3.5 {
+		t.Fatalf("sparse E/V = %.2f", ratio)
+	}
+
+	dense, err := TableOneSpec(5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err = Generate(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio = float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 12 || ratio > 40 {
+		t.Fatalf("dense E/V = %.2f", ratio)
+	}
+}
+
+func TestTableOneTinyScaleClamps(t *testing.T) {
+	s, err := TableOneSpec(1, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vertices < 32 {
+		t.Fatalf("tiny scale produced V=%d", s.Vertices)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCommunitiesGrowsWithV(t *testing.T) {
+	if defaultCommunities(100) >= defaultCommunities(100000) {
+		t.Fatal("community count does not grow with V")
+	}
+	if defaultCommunities(10) < 4 {
+		t.Fatal("minimum community count violated")
+	}
+}

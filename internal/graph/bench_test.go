@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchEdges(n, e int, seed uint64) []Edge {
+	r := rng.New(seed)
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{Src: int32(r.Intn(n)), Dst: int32(r.Intn(n))}
+	}
+	return edges
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	const n, e = 10000, 80000
+	edges := benchEdges(n, e, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(e * 8))
+}
+
+func BenchmarkVerticesByDegreeDesc(b *testing.B) {
+	g := MustNew(10000, benchEdges(10000, 80000, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.VerticesByDegreeDesc()
+	}
+}
+
+func BenchmarkNeighborSample(b *testing.B) {
+	g := MustNew(10000, benchEdges(10000, 80000, 3))
+	r := rng.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := r.Intn(10000)
+		if d := g.Degree(v); d > 0 {
+			_ = g.Neighbor(v, r.Intn(d))
+		}
+	}
+}
+
+func BenchmarkSymmetrize(b *testing.B) {
+	g := MustNew(5000, benchEdges(5000, 40000, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Symmetrize(g)
+	}
+}

@@ -1,0 +1,68 @@
+package graph
+
+// WeaklyConnectedComponents labels each vertex with its weakly
+// connected component (edges treated as undirected), returning the
+// labels (dense, 0-based, in order of first discovery) and the
+// component count. Community detection results are often inspected per
+// component, and disconnected inputs are a common failure mode for
+// partition quality, so this ships with the graph substrate.
+func WeaklyConnectedComponents(g *Graph) ([]int32, int) {
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	queue := make([]int32, 0, 64)
+	for start := 0; start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = next
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.OutNeighbors(int(v)) {
+				if labels[u] < 0 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.InNeighbors(int(v)) {
+				if labels[u] < 0 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// LargestComponent returns the vertex ids of the largest weakly
+// connected component, in ascending order.
+func LargestComponent(g *Graph) []int32 {
+	labels, k := WeaklyConnectedComponents(g)
+	if k == 0 {
+		return nil
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package graph
+
+import "testing"
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// Components: {0,1,2} (via directed chain), {3,4}, {5} isolated.
+	g := MustNew(6, []Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, // 2 connects via in-edge
+		{Src: 3, Dst: 4},
+	})
+	labels, k := WeaklyConnectedComponents(g)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("chain not one component: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("pair component wrong: %v", labels)
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatalf("isolated vertex shares a component: %v", labels)
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	labels, k := WeaklyConnectedComponents(MustNew(0, nil))
+	if k != 0 || len(labels) != 0 {
+		t.Fatal("empty graph components wrong")
+	}
+}
+
+func TestComponentsFullyConnected(t *testing.T) {
+	g := MustNew(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	_, k := WeaklyConnectedComponents(g)
+	if k != 1 {
+		t.Fatalf("components = %d, want 1", k)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := MustNew(7, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, // size 4
+		{Src: 4, Dst: 5}, // size 2
+	})
+	got := LargestComponent(g)
+	if len(got) != 4 {
+		t.Fatalf("largest component size %d, want 4", len(got))
+	}
+	for i, v := range []int32{0, 1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("largest component = %v", got)
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	if LargestComponent(MustNew(0, nil)) != nil {
+		t.Fatal("empty graph should have nil largest component")
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+// Symmetrize returns the undirected casting of g: for every unordered
+// vertex pair {a, b} connected by m = max(count(a→b), count(b→a)) edges,
+// the result contains m edges in each direction. Self-loops are
+// preserved as-is.
+//
+// The paper's discussion (§5.6) notes that casting the input to be
+// undirected would enable data-access and storage optimisations for the
+// blockmodel; this helper provides that casting so the same pipeline
+// can be run on the symmetrised input.
+func Symmetrize(g *Graph) *Graph {
+	type pair struct{ a, b int32 }
+	fwd := make(map[pair]int, g.NumEdges())
+	bwd := make(map[pair]int)
+	var selfLoops []Edge
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			switch {
+			case int(u) == v:
+				selfLoops = append(selfLoops, Edge{Src: u, Dst: u})
+			case int32(v) < u:
+				fwd[pair{int32(v), u}]++
+			default:
+				bwd[pair{u, int32(v)}]++
+			}
+		}
+	}
+	keys := make(map[pair]struct{}, len(fwd)+len(bwd))
+	for k := range fwd {
+		keys[k] = struct{}{}
+	}
+	for k := range bwd {
+		keys[k] = struct{}{}
+	}
+	edges := make([]Edge, 0, 2*len(keys)+len(selfLoops))
+	for key := range keys {
+		m := fwd[key]
+		if bwd[key] > m {
+			m = bwd[key]
+		}
+		for i := 0; i < m; i++ {
+			edges = append(edges, Edge{Src: key.a, Dst: key.b}, Edge{Src: key.b, Dst: key.a})
+		}
+	}
+	edges = append(edges, selfLoops...)
+	return MustNew(g.NumVertices(), edges)
+}
+
+// IsSymmetric reports whether every non-loop edge u→v has a matching
+// v→u with the same multiplicity.
+func IsSymmetric(g *Graph) bool {
+	counts := make(map[int64]int, g.NumEdges())
+	key := func(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			counts[key(int32(v), u)]++
+		}
+	}
+	for k, c := range counts {
+		a := int32(k >> 32)
+		b := int32(uint32(k))
+		if a == b {
+			continue
+		}
+		if counts[key(b, a)] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSymmetrizeBasic(t *testing.T) {
+	g := MustNew(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	s := Symmetrize(g)
+	if !IsSymmetric(s) {
+		t.Fatal("result not symmetric")
+	}
+	if s.NumEdges() != 4 {
+		t.Fatalf("E = %d, want 4", s.NumEdges())
+	}
+	if s.OutDegree(1) != 2 || s.InDegree(1) != 2 {
+		t.Fatal("vertex 1 should see both neighbours in both directions")
+	}
+}
+
+func TestSymmetrizeReciprocalNotDuplicated(t *testing.T) {
+	g := MustNew(2, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	s := Symmetrize(g)
+	if s.NumEdges() != 2 {
+		t.Fatalf("reciprocal pair inflated to %d edges", s.NumEdges())
+	}
+}
+
+func TestSymmetrizeMultiEdgesUseMax(t *testing.T) {
+	g := MustNew(2, []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	s := Symmetrize(g)
+	// max(2, 1) = 2 in each direction.
+	if s.NumEdges() != 4 {
+		t.Fatalf("E = %d, want 4", s.NumEdges())
+	}
+}
+
+func TestSymmetrizeKeepsSelfLoops(t *testing.T) {
+	g := MustNew(2, []Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 0}, {Src: 0, Dst: 1}})
+	s := Symmetrize(g)
+	loops := 0
+	for _, u := range s.OutNeighbors(0) {
+		if u == 0 {
+			loops++
+		}
+	}
+	if loops != 2 {
+		t.Fatalf("self-loops = %d, want 2", loops)
+	}
+}
+
+func TestSymmetrizeIdempotent(t *testing.T) {
+	r := rng.New(4)
+	if err := quick.Check(func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := rr.Intn(15) + 2
+		e := rr.Intn(60)
+		edges := make([]Edge, e)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rr.Intn(n)), Dst: int32(rr.Intn(n))}
+		}
+		g := MustNew(n, edges)
+		s1 := Symmetrize(g)
+		if !IsSymmetric(s1) {
+			return false
+		}
+		s2 := Symmetrize(s1)
+		_ = r
+		return s2.NumEdges() == s1.NumEdges()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSymmetricDetectsAsymmetry(t *testing.T) {
+	if IsSymmetric(MustNew(2, []Edge{{Src: 0, Dst: 1}})) {
+		t.Fatal("one-way edge reported symmetric")
+	}
+	if !IsSymmetric(MustNew(2, []Edge{{Src: 0, Dst: 0}})) {
+		t.Fatal("self-loop-only graph reported asymmetric")
+	}
+}

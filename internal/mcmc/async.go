@@ -1,0 +1,120 @@
+package mcmc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// runAsync is Algorithm 3 (A-SBP): every sweep evaluates all vertices in
+// parallel against the blockmodel from the end of the previous sweep
+// ("at most one iteration stale", §3.1), records accepted moves in a
+// private membership vector, then rebuilds the blockmodel in parallel.
+func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+	st := Stats{Algorithm: AsyncGibbs, InitialS: bm.MDL()}
+	prev := st.InitialS
+	workers := parallel.DefaultWorkers(cfg.Workers)
+	workerRNGs := splitRNGs(rn, workers)
+	scratches := newScratches(workers)
+	next := make([]int32, len(bm.Assignment))
+
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		asyncPass(bm, nil, next, cfg, workers, workerRNGs, scratches, &st) // nil = all vertices
+		rebuild(bm, next, cfg.Workers, &st)
+		st.Sweeps++
+		cur := bm.MDL()
+		if converged(prev, cur, cfg.Threshold) {
+			st.Converged = true
+			st.FinalS = cur
+			return st
+		}
+		prev = cur
+	}
+	st.FinalS = bm.MDL()
+	return st
+}
+
+// asyncPass runs one asynchronous Gibbs pass over the given vertex set
+// (nil = all vertices). Proposals read bm (stale, frozen during the
+// pass); accepted moves write next[v]. Each worker owns a contiguous
+// chunk, so all writes are disjoint and the pass is race-free.
+//
+// next must already hold the membership the pass should start from
+// (the caller copies bm.Assignment or carries the vector forward).
+func asyncPass(bm *blockmodel.Blockmodel, vertices []int32, next []int32, cfg Config, workers int, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats) {
+	copy(next, bm.Assignment)
+	n := len(next)
+	if vertices != nil {
+		n = len(vertices)
+	}
+	var proposals, accepts atomic.Int64
+	workTimes := make([]float64, workers)
+	parallel.ForChunked(n, workers, func(lo, hi, w int) {
+		start := time.Now()
+		rw := workerRNGs[w]
+		sc := scratches[w]
+		var localProp, localAcc int64
+		for i := lo; i < hi; i++ {
+			v := i
+			if vertices != nil {
+				v = int(vertices[i])
+			}
+			s := bm.ProposeVertexMove(v, bm.Assignment, rw)
+			r := bm.Assignment[v]
+			if s == r {
+				continue
+			}
+			localProp++
+			md := bm.EvalMove(v, s, bm.Assignment, sc)
+			if md.EmptiesSrc && !cfg.AllowEmptyBlocks {
+				continue
+			}
+			h := bm.HastingsCorrection(&md)
+			if accept(&md, h, cfg.Beta, rw) {
+				next[v] = s
+				localAcc++
+			}
+		}
+		proposals.Add(localProp)
+		accepts.Add(localAcc)
+		workTimes[w] = float64(time.Since(start).Nanoseconds())
+	})
+	st.Proposals += proposals.Load()
+	st.Accepts += accepts.Load()
+	var total float64
+	for _, t := range workTimes {
+		total += t
+	}
+	st.Cost.AddParallel(total)
+}
+
+// rebuild reconstructs the blockmodel from the updated membership in
+// parallel and charges the work to the parallel account (the paper notes
+// the rebuild overhead "can be reduced by performing the reconstruction
+// of B in parallel").
+func rebuild(bm *blockmodel.Blockmodel, next []int32, workers int, st *Stats) {
+	start := time.Now()
+	bm.RebuildFrom(next, workers)
+	st.Cost.AddParallel(float64(time.Since(start).Nanoseconds()))
+}
+
+// splitRNGs derives one independent stream per worker from the master.
+func splitRNGs(rn *rng.RNG, workers int) []*rng.RNG {
+	out := make([]*rng.RNG, workers)
+	for i := range out {
+		out[i] = rn.Split()
+	}
+	return out
+}
+
+// newScratches allocates one evaluation Scratch per worker.
+func newScratches(workers int) []*blockmodel.Scratch {
+	out := make([]*blockmodel.Scratch, workers)
+	for i := range out {
+		out[i] = blockmodel.NewScratch()
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package mcmc
+
+import (
+	"repro/internal/blockmodel"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// runBatched implements batched asynchronous SBP (B-SBP), the extension
+// the paper's conclusion sketches: "Speeding up the graph reconstruction
+// phase would also make batched A-SBP possible, which could potentially
+// provide similar benefits to H-SBP without the need for synchronous
+// processing."
+//
+// Each sweep is split into cfg.Batches groups of vertices; after every
+// group's fully parallel pass the blockmodel is rebuilt, so proposals
+// are at most 1/Batches of a sweep stale instead of a whole sweep.
+// Batches = 1 degenerates to A-SBP; Batches = V would be the serial
+// chain (with rebuild overhead). The staleness ablation benchmark
+// sweeps this knob.
+func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+	st := Stats{Algorithm: BatchedGibbs, InitialS: bm.MDL()}
+	prev := st.InitialS
+	workers := parallel.DefaultWorkers(cfg.Workers)
+	workerRNGs := splitRNGs(rn, workers)
+	scratches := newScratches(workers)
+
+	batches := cfg.Batches
+	if batches < 1 {
+		batches = DefaultBatches
+	}
+	n := bm.G.NumVertices()
+	if batches > n {
+		batches = n
+	}
+	// Static contiguous batches: vertex order is fixed, so results are
+	// deterministic for a given seed and worker count.
+	groups := make([][]int32, 0, batches)
+	for b := 0; b < batches; b++ {
+		lo := b * n / batches
+		hi := (b + 1) * n / batches
+		group := make([]int32, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			group = append(group, int32(v))
+		}
+		groups = append(groups, group)
+	}
+
+	next := make([]int32, n)
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		for _, group := range groups {
+			asyncPass(bm, group, next, cfg, workers, workerRNGs, scratches, &st)
+			rebuild(bm, next, cfg.Workers, &st)
+		}
+		st.Sweeps++
+		cur := bm.MDL()
+		if converged(prev, cur, cfg.Threshold) {
+			st.Converged = true
+			st.FinalS = cur
+			return st
+		}
+		prev = cur
+	}
+	st.FinalS = bm.MDL()
+	return st
+}

@@ -1,0 +1,68 @@
+package mcmc
+
+import (
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// runHybrid is Algorithm 4 (H-SBP). Vertices are sorted by degree once;
+// the top HybridFraction (V*) is processed with one serial Metropolis-
+// Hastings pass per sweep — live blockmodel updates, so the most
+// influential vertices always see fresh state and get "a chance to switch
+// communities first" — and the remainder (V⁻) with one asynchronous
+// Gibbs pass evaluated against the blockmodel that already includes the
+// V* moves. The blockmodel is then rebuilt from the combined membership.
+func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+	st := Stats{Algorithm: Hybrid, InitialS: bm.MDL()}
+	prev := st.InitialS
+	workers := parallel.DefaultWorkers(cfg.Workers)
+	workerRNGs := splitRNGs(rn, workers)
+	scratches := newScratches(workers)
+	serialScratch := blockmodel.NewScratch()
+
+	vStar, vMinus := SplitByDegree(bm, cfg.HybridFraction)
+	next := make([]int32, len(bm.Assignment))
+
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		// Synchronous pass over V*: identical to the serial engine's
+		// inner loop, charged as serial work.
+		start := time.Now()
+		for _, v := range vStar {
+			serialStep(bm, int(v), cfg, rn, serialScratch, &st)
+		}
+		st.Cost.AddSerial(float64(time.Since(start).Nanoseconds()))
+
+		// Asynchronous pass over V⁻ against the post-V* blockmodel.
+		asyncPass(bm, vMinus, next, cfg, workers, workerRNGs, scratches, &st)
+		rebuild(bm, next, cfg.Workers, &st)
+
+		st.Sweeps++
+		cur := bm.MDL()
+		if converged(prev, cur, cfg.Threshold) {
+			st.Converged = true
+			st.FinalS = cur
+			return st
+		}
+		prev = cur
+	}
+	st.FinalS = bm.MDL()
+	return st
+}
+
+// SplitByDegree partitions the vertex set into (V*, V⁻): the ceil(
+// fraction·V) highest-total-degree vertices and the rest. Exposed for the
+// V*-selection ablation.
+func SplitByDegree(bm *blockmodel.Blockmodel, fraction float64) (vStar, vMinus []int32) {
+	order := bm.G.VerticesByDegreeDesc()
+	k := int(fraction * float64(len(order)))
+	if fraction > 0 && k == 0 {
+		k = 1
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k], order[k:]
+}

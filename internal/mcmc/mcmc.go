@@ -1,0 +1,217 @@
+// Package mcmc implements the MCMC phase of stochastic block partitioning
+// in its three variants from the paper:
+//
+//   - Serial Metropolis-Hastings (Algorithm 2) — the baseline SBP chain,
+//     inherently sequential: every proposal sees the fully up-to-date
+//     blockmodel.
+//   - Asynchronous Gibbs (Algorithm 3, A-SBP) — all vertices are proposed
+//     in parallel against a blockmodel that is at most one sweep stale;
+//     accepted moves update only the membership vector, and the
+//     blockmodel is rebuilt in parallel after each sweep.
+//   - Hybrid (Algorithm 4, H-SBP) — the top fraction of vertices by
+//     degree is processed serially first (live blockmodel updates), the
+//     rest asynchronously as in A-SBP.
+//
+// All variants use the exact-asynchronous-Gibbs acceptance rule: the
+// Metropolis-Hastings ratio exp(−β·ΔS)·H is computed for every proposal
+// rather than accepting unconditionally.
+package mcmc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Algorithm selects the MCMC engine.
+type Algorithm int
+
+const (
+	// SerialMH is the baseline sequential Metropolis-Hastings chain (SBP).
+	SerialMH Algorithm = iota
+	// AsyncGibbs is the fully parallel asynchronous Gibbs chain (A-SBP).
+	AsyncGibbs
+	// Hybrid processes influential vertices serially and the rest
+	// asynchronously (H-SBP).
+	Hybrid
+	// BatchedGibbs is batched asynchronous Gibbs (B-SBP), the extension
+	// sketched in the paper's conclusion: the blockmodel is rebuilt
+	// after each of Config.Batches vertex groups per sweep, bounding
+	// staleness to a fraction of a sweep without any serial pass.
+	BatchedGibbs
+)
+
+// DefaultBatches is the batch count used by BatchedGibbs when
+// Config.Batches is unset.
+const DefaultBatches = 4
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SerialMH:
+		return "SBP"
+	case AsyncGibbs:
+		return "A-SBP"
+	case Hybrid:
+		return "H-SBP"
+	case BatchedGibbs:
+		return "B-SBP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config holds the tunables of the MCMC phase. The zero value is not
+// usable; call DefaultConfig.
+type Config struct {
+	// Beta is the inverse temperature in the acceptance probability
+	// exp(−β·ΔS)·H. The Graph Challenge reference implementation the
+	// paper builds on uses 3.
+	Beta float64
+
+	// Threshold is t in Algorithms 2–4: the phase stops when the
+	// absolute MDL change of a sweep falls below Threshold·|MDL|.
+	Threshold float64
+
+	// MaxSweeps is x in Algorithms 2–4: the hard cap on sweeps.
+	MaxSweeps int
+
+	// HybridFraction is the share of vertices (by descending degree)
+	// processed serially by the Hybrid engine. The paper reserves 15%.
+	HybridFraction float64
+
+	// Workers is the parallel width of the asynchronous passes and the
+	// blockmodel rebuild; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// AllowEmptyBlocks permits vertex moves that empty their source
+	// block. SBP keeps the block count fixed during the MCMC phase, so
+	// this defaults to false.
+	AllowEmptyBlocks bool
+
+	// Batches is the number of rebuild batches per sweep for the
+	// BatchedGibbs engine (<= 0 selects DefaultBatches). Ignored by the
+	// other engines.
+	Batches int
+}
+
+// DefaultConfig returns the configuration used in the paper's
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Beta:           3,
+		Threshold:      1e-4,
+		MaxSweeps:      100,
+		HybridFraction: 0.15,
+		Workers:        0,
+	}
+}
+
+// Stats reports what one MCMC phase did. Work accounting feeds the
+// strong-scaling cost model (see internal/parallel).
+type Stats struct {
+	Algorithm Algorithm
+	Sweeps    int     // sweeps executed
+	Proposals int64   // proposals evaluated
+	Accepts   int64   // proposals accepted
+	InitialS  float64 // MDL before the phase
+	FinalS    float64 // MDL after the phase
+	Converged bool    // threshold reached before MaxSweeps
+
+	// Cost is the work/span account of the phase: proposal work in the
+	// serial passes is serial work, proposal work in the asynchronous
+	// passes and the blockmodel rebuilds are parallel work.
+	Cost parallel.CostModel
+}
+
+// AcceptanceRate returns Accepts/Proposals (0 when no proposals ran).
+func (s Stats) AcceptanceRate() float64 {
+	if s.Proposals == 0 {
+		return 0
+	}
+	return float64(s.Accepts) / float64(s.Proposals)
+}
+
+// Run executes the MCMC phase of the selected algorithm on bm in place
+// and returns phase statistics. rn is the master RNG; the asynchronous
+// engines split one independent stream per worker from it.
+func Run(bm *blockmodel.Blockmodel, alg Algorithm, cfg Config, rn *rng.RNG) Stats {
+	switch alg {
+	case SerialMH:
+		return runSerial(bm, cfg, rn)
+	case AsyncGibbs:
+		return runAsync(bm, cfg, rn)
+	case Hybrid:
+		return runHybrid(bm, cfg, rn)
+	case BatchedGibbs:
+		return runBatched(bm, cfg, rn)
+	default:
+		panic(fmt.Sprintf("mcmc: unknown algorithm %d", int(alg)))
+	}
+}
+
+// accept decides a Metropolis-Hastings acceptance for an evaluated move.
+func accept(md *blockmodel.MoveDelta, hastings, beta float64, rn *rng.RNG) bool {
+	a := math.Exp(-beta*md.DeltaS) * hastings
+	return a >= 1 || rn.Float64() < a
+}
+
+// converged implements the loop exit test "ΔMDL < t × MDL". The
+// comparison is non-strict so that an exactly unchanged MDL (e.g. an
+// edgeless graph, where the description length is identically zero)
+// still terminates the phase.
+func converged(prev, cur, threshold float64) bool {
+	return math.Abs(prev-cur) <= threshold*math.Abs(cur)
+}
+
+// runSerial is Algorithm 2: one sequential Metropolis-Hastings chain.
+// Every accepted move updates the blockmodel in place, so each proposal
+// sees the exact current state.
+func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+	st := Stats{Algorithm: SerialMH, InitialS: bm.MDL()}
+	prev := st.InitialS
+	n := bm.G.NumVertices()
+	sc := blockmodel.NewScratch()
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		start := time.Now()
+		for v := 0; v < n; v++ {
+			serialStep(bm, v, cfg, rn, sc, &st)
+		}
+		st.Cost.AddSerial(float64(time.Since(start).Nanoseconds()))
+		st.Sweeps++
+		cur := bm.MDL()
+		if converged(prev, cur, cfg.Threshold) {
+			st.Converged = true
+			st.FinalS = cur
+			return st
+		}
+		prev = cur
+	}
+	st.FinalS = bm.MDL()
+	return st
+}
+
+// serialStep proposes, evaluates and possibly applies one move with live
+// blockmodel updates. Shared by the serial engine and the hybrid
+// engine's synchronous pass.
+func serialStep(bm *blockmodel.Blockmodel, v int, cfg Config, rn *rng.RNG, sc *blockmodel.Scratch, st *Stats) {
+	s := bm.ProposeVertexMove(v, bm.Assignment, rn)
+	r := bm.Assignment[v]
+	if s == r {
+		return
+	}
+	st.Proposals++
+	md := bm.EvalMove(v, s, bm.Assignment, sc)
+	if md.EmptiesSrc && !cfg.AllowEmptyBlocks {
+		return
+	}
+	h := bm.HastingsCorrection(&md)
+	if accept(&md, h, cfg.Beta, rn) {
+		bm.ApplyMove(md)
+		st.Accepts++
+	}
+}

@@ -1,0 +1,173 @@
+// Package merge implements the block-merge phase of stochastic block
+// partitioning (paper Algorithm 1): for every community, several merge
+// candidates are proposed and evaluated in parallel; the best merges are
+// then sorted by ΔMDL and applied greedily until the community count has
+// been reduced by the requested amount.
+//
+// This phase is embarrassingly parallel up to the sort (the paper runs it
+// in parallel in *all* experiments so that runtime differences are
+// attributable solely to the MCMC phase).
+package merge
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Config holds the merge-phase tunables.
+type Config struct {
+	// Candidates is x in Algorithm 1: the number of merge proposals
+	// evaluated per community. The Graph Challenge baseline uses 10.
+	Candidates int
+
+	// Workers is the parallel width (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the merge configuration used by the reference
+// SBP implementations.
+func DefaultConfig() Config {
+	return Config{Candidates: 10, Workers: 0}
+}
+
+// Stats reports one merge phase.
+type Stats struct {
+	Requested int // merges requested
+	Applied   int // merges actually applied
+	Proposals int64
+	Cost      parallel.CostModel
+}
+
+// candidate is the best merge found for one source block.
+type candidate struct {
+	from, to int32
+	delta    float64
+	valid    bool
+}
+
+// Phase merges numToMerge communities of bm (Algorithm 1), rebuilding and
+// compacting the blockmodel. It returns phase statistics. bm must have
+// more than numToMerge non-empty blocks.
+func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) Stats {
+	st := Stats{Requested: numToMerge}
+	if numToMerge <= 0 || bm.C < 2 {
+		return st
+	}
+	workers := parallel.DefaultWorkers(cfg.Workers)
+	workerRNGs := make([]*rng.RNG, workers)
+	for i := range workerRNGs {
+		workerRNGs[i] = rn.Split()
+	}
+
+	// Parallel proposal stage: the best of cfg.Candidates merges per
+	// non-empty block.
+	best := make([]candidate, bm.C)
+	var proposals atomic.Int64
+	workTimes := make([]float64, workers)
+	parallel.ForChunked(bm.C, workers, func(lo, hi, w int) {
+		start := time.Now()
+		rw := workerRNGs[w]
+		sc := blockmodel.NewScratch()
+		var local int64
+		for r := lo; r < hi; r++ {
+			if bm.Sizes[r] == 0 {
+				continue
+			}
+			c := candidate{from: int32(r), delta: 0, valid: false}
+			for i := 0; i < cfg.Candidates; i++ {
+				s := bm.ProposeMerge(int32(r), rw)
+				local++
+				d := bm.EvalMerge(int32(r), s, sc)
+				if !c.valid || d < c.delta {
+					c.to, c.delta, c.valid = s, d, true
+				}
+			}
+			best[r] = c
+		}
+		proposals.Add(local)
+		workTimes[w] = float64(time.Since(start).Nanoseconds())
+	})
+	st.Proposals = proposals.Load()
+	var totalWork float64
+	for _, t := range workTimes {
+		totalWork += t
+	}
+	st.Cost.AddParallel(totalWork)
+
+	// Serial stage: sort by ΔMDL and apply greedily, chasing earlier
+	// merges with a union-find so that "merge r into s" still works after
+	// s itself has been merged away.
+	serialStart := time.Now()
+	order := make([]int, 0, len(best))
+	for r := range best {
+		if best[r].valid {
+			order = append(order, r)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := best[order[a]].delta, best[order[b]].delta
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b] // deterministic tie-break
+	})
+
+	uf := newUnionFind(bm.C)
+	for _, r := range order {
+		if st.Applied >= numToMerge {
+			break
+		}
+		from := uf.find(best[r].from)
+		to := uf.find(best[r].to)
+		if from == to {
+			continue
+		}
+		uf.merge(from, to)
+		st.Applied++
+	}
+
+	// Relabel the assignment through the union-find and rebuild.
+	membership := make([]int32, len(bm.Assignment))
+	for v, b := range bm.Assignment {
+		membership[v] = uf.find(b)
+	}
+	st.Cost.AddSerial(float64(time.Since(serialStart).Nanoseconds()))
+
+	rebuildStart := time.Now()
+	bm.RebuildFrom(membership, cfg.Workers)
+	bm.Compact(cfg.Workers)
+	st.Cost.AddParallel(float64(time.Since(rebuildStart).Nanoseconds()))
+	return st
+}
+
+// unionFind is a plain disjoint-set forest with path halving. merge makes
+// the target block the representative, matching "merge c into c'".
+type unionFind struct {
+	parent []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// merge attaches root from under root to. Callers pass roots.
+func (u *unionFind) merge(from, to int32) {
+	u.parent[from] = to
+}

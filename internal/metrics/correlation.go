@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Correlation holds the result of a Pearson correlation analysis, the
+// statistic Fig 3 reports (r² and the p-value of the two-sided t-test
+// for non-zero correlation).
+type Correlation struct {
+	R        float64 // Pearson correlation coefficient
+	RSquared float64
+	PValue   float64 // two-sided p-value, H0: r = 0
+	N        int
+}
+
+// Pearson computes the correlation between x and y with significance.
+func Pearson(x, y []float64) (Correlation, error) {
+	if len(x) != len(y) {
+		return Correlation{}, fmt.Errorf("metrics: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 3 {
+		return Correlation{}, fmt.Errorf("metrics: Pearson needs at least 3 points, got %d", n)
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return Correlation{}, fmt.Errorf("metrics: Pearson with zero variance input")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	c := Correlation{R: r, RSquared: r * r, N: n}
+	// t-statistic with n−2 degrees of freedom.
+	df := float64(n - 2)
+	if r*r >= 1 {
+		c.PValue = 0
+		return c, nil
+	}
+	t := r * math.Sqrt(df/(1-r*r))
+	c.PValue = 2 * studentTSF(math.Abs(t), df)
+	return c, nil
+}
+
+// studentTSF returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function:
+// P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2.
+func studentTSF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x)
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	lbetaSym := lgamma(a+b) - lgamma(a) - lgamma(b)
+	frontSym := math.Exp(math.Log(1-x)*b+math.Log(x)*a+lbetaSym) / b
+	return 1 - frontSym*betaCF(b, a, 1-x)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		mf := float64(m)
+		m2 := 2 * mf
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

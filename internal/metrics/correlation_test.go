@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	c, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R-1) > 1e-12 || math.Abs(c.RSquared-1) > 1e-12 {
+		t.Fatalf("r = %v", c.R)
+	}
+	if c.PValue > 1e-10 {
+		t.Fatalf("perfect correlation p = %v", c.PValue)
+	}
+}
+
+func TestPearsonPerfectAnticorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{4, 3, 2, 1}
+	c, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R+1) > 1e-12 {
+		t.Fatalf("r = %v, want -1", c.R)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Reference values computed independently (closed-form r, p by
+	// numerical integration of the t₄ density):
+	// x=[1..6], y=[2,1,4,3,7,5] → r=0.7917946549, p=0.06051094.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2, 1, 4, 3, 7, 5}
+	c, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R-0.7917946549) > 1e-9 {
+		t.Fatalf("r = %v, want 0.7917946549", c.R)
+	}
+	if math.Abs(c.PValue-0.06051094) > 1e-6 {
+		t.Fatalf("p = %v, want 0.06051094", c.PValue)
+	}
+}
+
+func TestPearsonNoCorrelationHighP(t *testing.T) {
+	r := rng.New(7)
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	c, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PValue < 0.001 {
+		t.Fatalf("independent data p = %v (r=%v)", c.PValue, c.R)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Fatal("n < 3 accepted")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	// Boundary values.
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, tc := range []struct{ a, b, x float64 }{
+		{2, 3, 0.3}, {0.5, 0.5, 0.7}, {5, 1, 0.9}, {10, 10, 0.5},
+	} {
+		lhs := regIncBeta(tc.a, tc.b, tc.x)
+		rhs := 1 - regIncBeta(tc.b, tc.a, 1-tc.x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry violated at a=%g b=%g x=%g: %v vs %v", tc.a, tc.b, tc.x, lhs, rhs)
+		}
+	}
+	// I_0.5(a,a) = 0.5.
+	if got := regIncBeta(4, 4, 0.5); math.Abs(got-0.5) > 1e-10 {
+		t.Fatalf("I_0.5(4,4) = %v", got)
+	}
+	// Known value: I_0.5(1,1) = 0.5 (uniform CDF).
+	if got := regIncBeta(1, 1, 0.25); math.Abs(got-0.25) > 1e-10 {
+		t.Fatalf("I_0.25(1,1) = %v", got)
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.05; x < 1; x += 0.05 {
+		cur := regIncBeta(3, 2, x)
+		if cur < prev {
+			t.Fatalf("not monotone at x=%v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestStudentTSF(t *testing.T) {
+	// P(T > 0) = 0.5 for any df.
+	if got := studentTSF(0, 10); math.Abs(got-0.5) > 1e-10 {
+		t.Fatalf("SF(0) = %v", got)
+	}
+	// Known: for df=10, P(T > 2.228) ≈ 0.025 (97.5th percentile).
+	if got := studentTSF(2.228, 10); math.Abs(got-0.025) > 5e-4 {
+		t.Fatalf("SF(2.228, 10) = %v, want ~0.025", got)
+	}
+	// Tail decreases with t.
+	if studentTSF(1, 5) <= studentTSF(3, 5) {
+		t.Fatal("survival function not decreasing")
+	}
+}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestNMIIdentical(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	got, err := NMI(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(x,x) = %v", got)
+	}
+}
+
+func TestNMILabelPermutationInvariant(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	b := []int32{5, 5, 9, 9, 1, 1} // same partition, different labels
+	got, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI under relabelling = %v", got)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// A perfectly crossed pair of partitions shares no information.
+	x := []int32{0, 0, 1, 1}
+	y := []int32{0, 1, 0, 1}
+	got, err := NMI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-12 {
+		t.Fatalf("NMI of independent partitions = %v", got)
+	}
+}
+
+func TestNMIHandComputed(t *testing.T) {
+	// x = {0,0,1,1}, y = {0,1,1,1}:
+	// H(X) = ln 2; H(Y) = -(1/4)ln(1/4) - (3/4)ln(3/4).
+	// I = Σ p log(p/(px·py)) over joint {(0,0):1/4,(0,1):1/4,(1,1):1/2}.
+	x := []int32{0, 0, 1, 1}
+	y := []int32{0, 1, 1, 1}
+	pj := map[[2]float64]float64{}
+	pj[[2]float64{0, 0}] = 0.25
+	pj[[2]float64{0, 1}] = 0.25
+	pj[[2]float64{1, 1}] = 0.5
+	px := []float64{0.5, 0.5}
+	py := []float64{0.25, 0.75}
+	var mi float64
+	for k, p := range pj {
+		mi += p * math.Log(p/(px[int(k[0])]*py[int(k[1])]))
+	}
+	hx := math.Log(2)
+	hy := -0.25*math.Log(0.25) - 0.75*math.Log(0.75)
+	want := mi / math.Sqrt(hx*hy)
+	got, err := NMI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NMI = %v, want %v", got, want)
+	}
+}
+
+func TestNMISingleCommunity(t *testing.T) {
+	one := []int32{0, 0, 0}
+	if got, _ := NMI(one, one); got != 1 {
+		t.Fatalf("NMI(single,single) = %v", got)
+	}
+	split := []int32{0, 1, 2}
+	if got, _ := NMI(one, split); got != 0 {
+		t.Fatalf("NMI(single,split) = %v", got)
+	}
+}
+
+func TestNMIErrors(t *testing.T) {
+	if _, err := NMI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NMI(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestNMISymmetric(t *testing.T) {
+	r := rng.New(3)
+	if err := quick.Check(func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := rr.Intn(50) + 4
+		x := make([]int32, n)
+		y := make([]int32, n)
+		for i := range x {
+			x[i] = int32(rr.Intn(4))
+			y[i] = int32(rr.Intn(3))
+		}
+		a, err1 := NMI(x, y)
+		b, err2 := NMI(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		_ = r
+		return math.Abs(a-b) < 1e-12 && a >= 0 && a <= 1
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModularityTwoCliques(t *testing.T) {
+	// Two directed 3-cycles joined by nothing: perfect 2-community
+	// split. Q = Σ_c (e_cc/E − d_out·d_in/E²) = (3/6 − 9/36)·2 = 0.5.
+	g := graph.MustNew(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3},
+	})
+	q, err := Modularity(g, []int32{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("Q = %v, want 0.5", q)
+	}
+}
+
+func TestModularitySingleCommunityIsZero(t *testing.T) {
+	g := graph.MustNew(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	q, err := Modularity(g, []int32{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("single-community Q = %v", q)
+	}
+}
+
+func TestModularityGoodBeatsBad(t *testing.T) {
+	g := graph.MustNew(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3},
+		{Src: 0, Dst: 3},
+	})
+	good, _ := Modularity(g, []int32{0, 0, 0, 1, 1, 1})
+	bad, _ := Modularity(g, []int32{0, 1, 0, 1, 0, 1})
+	if good <= bad {
+		t.Fatalf("good split Q=%v not above bad split Q=%v", good, bad)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := graph.MustNew(3, nil)
+	q, err := Modularity(g, []int32{0, 1, 2})
+	if err != nil || q != 0 {
+		t.Fatalf("edgeless Q = %v, err %v", q, err)
+	}
+}
+
+func TestModularityErrors(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{Src: 0, Dst: 1}})
+	if _, err := Modularity(g, []int32{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+func TestARIIdentical(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2}
+	got, err := AdjustedRandIndex(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI(x,x) = %v", got)
+	}
+}
+
+func TestARIIndependentNearZero(t *testing.T) {
+	r := rng.New(5)
+	n := 2000
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(r.Intn(4))
+		y[i] = int32(r.Intn(4))
+	}
+	got, err := AdjustedRandIndex(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.05 {
+		t.Fatalf("ARI of independent partitions = %v", got)
+	}
+}
+
+func TestARIAgreesWithNMIOrdering(t *testing.T) {
+	// A slightly corrupted partition must score above a heavily
+	// corrupted one under both measures.
+	r := rng.New(6)
+	n := 500
+	truth := make([]int32, n)
+	for i := range truth {
+		truth[i] = int32(i % 5)
+	}
+	corrupt := func(frac float64) []int32 {
+		out := append([]int32(nil), truth...)
+		for i := range out {
+			if r.Float64() < frac {
+				out[i] = int32(r.Intn(5))
+			}
+		}
+		return out
+	}
+	light, heavy := corrupt(0.1), corrupt(0.7)
+	ariL, _ := AdjustedRandIndex(truth, light)
+	ariH, _ := AdjustedRandIndex(truth, heavy)
+	nmiL, _ := NMI(truth, light)
+	nmiH, _ := NMI(truth, heavy)
+	if ariL <= ariH || nmiL <= nmiH {
+		t.Fatalf("corruption ordering violated: ARI %v/%v NMI %v/%v", ariL, ariH, nmiL, nmiH)
+	}
+}

@@ -1,0 +1,28 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNMICollapsedLargeN(t *testing.T) {
+	// Regression: with n large enough that Σ(1/n) lands above 1, the
+	// single-community entropy went slightly negative and NMI returned
+	// NaN (sqrt of a negative product).
+	n := 1000
+	truth := make([]int32, n)
+	found := make([]int32, n)
+	for i := range truth {
+		truth[i] = int32(i % 10)
+	}
+	got, err := NMI(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) {
+		t.Fatal("NMI returned NaN for a collapsed partition")
+	}
+	if got != 0 {
+		t.Fatalf("NMI = %v, want 0", got)
+	}
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeAtOneThread(t *testing.T) {
+	c := CostModel{SerialWork: 1e6, ParallelWork: 9e6, Regions: 1}
+	got := c.Time(1)
+	want := 1e6 + 9e6 + RegionOverheadNs // log2(1) treated as 1 region cost
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("T(1) = %v, want %v", got, want)
+	}
+}
+
+func TestTimeMonotoneInThreads(t *testing.T) {
+	c := CostModel{SerialWork: 1e6, ParallelWork: 64e6, Regions: 3}
+	prev := c.Time(1)
+	for _, p := range []int{2, 4, 8, 16, 32, 64, 128} {
+		cur := c.Time(p)
+		if cur > prev {
+			t.Fatalf("T(%d)=%v > T(prev)=%v: runtime should not grow with threads at this work size", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSpeedupBounded(t *testing.T) {
+	// Pure parallel work: speedup must stay below the saturation
+	// asymptote, reproducing the paper's far-below-linear scaling.
+	c := CostModel{ParallelWork: 1e9, Regions: 1}
+	s := c.Speedup(128)
+	if s > DefaultSaturation+1 {
+		t.Fatalf("speedup %v exceeds saturation asymptote %v", s, DefaultSaturation+1)
+	}
+	if s < 10 {
+		t.Fatalf("speedup %v unreasonably low for pure parallel work", s)
+	}
+}
+
+func TestAmdahlCeiling(t *testing.T) {
+	// 50% serial work caps speedup below 2 regardless of threads.
+	c := CostModel{SerialWork: 5e8, ParallelWork: 5e8, Regions: 1}
+	if s := c.Speedup(128); s >= 2 {
+		t.Fatalf("Amdahl violated: speedup %v with 50%% serial work", s)
+	}
+}
+
+func TestStrongScalingTaper(t *testing.T) {
+	// The marginal benefit per doubling must shrink (the Fig 7 taper).
+	c := CostModel{SerialWork: 1e6, ParallelWork: 1e9, Regions: 10}
+	gain16 := c.Time(8) - c.Time(16)
+	gain128 := c.Time(64) - c.Time(128)
+	if gain128 >= gain16 {
+		t.Fatalf("no taper: gain 64->128 (%v) >= gain 8->16 (%v)", gain128, gain16)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := CostModel{SerialWork: 1, ParallelWork: 2, Regions: 3}
+	b := CostModel{SerialWork: 10, ParallelWork: 20, Regions: 30}
+	a.Merge(b)
+	if a.SerialWork != 11 || a.ParallelWork != 22 || a.Regions != 33 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestRelativeSpeedup(t *testing.T) {
+	serial := CostModel{SerialWork: 1e9, Regions: 0}
+	par := CostModel{ParallelWork: 1e9, Regions: 1}
+	s := RelativeSpeedup(serial, par, 128)
+	if s <= 1 {
+		t.Fatalf("parallel variant not faster than serial baseline at 128 threads: %v", s)
+	}
+	if s1 := RelativeSpeedup(serial, par, 1); s1 > 1.01 {
+		t.Fatalf("at 1 thread the parallel variant should not win: %v", s1)
+	}
+}
+
+func TestEffectiveParallelismCustomSaturation(t *testing.T) {
+	lo := CostModel{ParallelWork: 1e9, Regions: 1, Saturation: 4}
+	hi := CostModel{ParallelWork: 1e9, Regions: 1, Saturation: 100}
+	if lo.Speedup(128) >= hi.Speedup(128) {
+		t.Fatalf("higher saturation should scale further: lo=%v hi=%v", lo.Speedup(128), hi.Speedup(128))
+	}
+}
+
+func TestTimeClampsThreads(t *testing.T) {
+	c := CostModel{SerialWork: 100, ParallelWork: 100, Regions: 1}
+	if c.Time(0) != c.Time(1) {
+		t.Fatal("p=0 not clamped to 1")
+	}
+	if c.Time(-5) != c.Time(1) {
+		t.Fatal("negative p not clamped to 1")
+	}
+}

@@ -1,0 +1,241 @@
+// Package rng provides a fast, deterministic, splittable pseudo-random
+// number generator used throughout the SBP implementation.
+//
+// Parallel MCMC requires every worker to own an independent random stream
+// so that results are reproducible for a given seed regardless of
+// scheduling. We use xoshiro256** for generation and SplitMix64 for
+// seeding/splitting, the same construction recommended by the xoshiro
+// authors: streams produced by Split are seeded from a SplitMix64 walk of
+// the parent state and are statistically independent for all practical
+// purposes.
+//
+// The zero value is not usable; construct with New.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. It is NOT safe for concurrent use;
+// use Split to derive one generator per goroutine.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances x and returns the next SplitMix64 output.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Any seed, including 0, is valid.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	r.s0 = splitMix64(&x)
+	r.s1 = splitMix64(&x)
+	r.s2 = splitMix64(&x)
+	r.s3 = splitMix64(&x)
+	return r
+}
+
+// Split returns a new generator whose stream is independent of r's.
+// r itself advances, so successive Split calls yield distinct streams.
+func (r *RNG) Split() *RNG {
+	x := r.Uint64()
+	child := &RNG{}
+	child.s0 = splitMix64(&x)
+	child.s1 = splitMix64(&x)
+	child.s2 = splitMix64(&x)
+	child.s3 = splitMix64(&x)
+	return child
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method (no modulo bias).
+func (r *RNG) boundedUint64(n uint64) uint64 {
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Exp returns an exponentially distributed float64 with rate 1.
+func (r *RNG) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Norm returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda the PTRS transformed-rejection
+// method of Hörmann (1993), which is O(1).
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS (Hörmann). Valid for lambda >= 10.
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLam := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLam-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Binomial returns a Binomial(n, p) variate via inversion for small n·p
+// and a normal approximation-free BTPE-lite waiting-time method otherwise.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if float64(n)*p < 30 {
+		// Waiting-time (geometric) method: O(n·p) expected.
+		q := math.Log(1 - p)
+		count, x := 0, 0
+		for {
+			e := r.Exp()
+			x += int(e/(-q)) + 1
+			if x > n {
+				return count
+			}
+			count++
+		}
+	}
+	// Sum of Poisson-approximation corrections is overkill here; fall back
+	// to a simple split: Binomial(n,p) = Binomial(k,p) + Binomial(n-k,p).
+	half := n / 2
+	return r.Binomial(half, p) + r.Binomial(n-half, p)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Jump is equivalent to 2^128 calls to Uint64; it can be used to generate
+// 2^128 non-overlapping subsequences for parallel computations.
+func (r *RNG) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
+			}
+			r.Uint64()
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}

@@ -1,0 +1,297 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("seed 0 produced repeats: %d distinct of 10", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("sibling streams matched %d times of 1000", matches)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	// Chi-squared test with 9 dof; 27.9 is the 0.1% critical value.
+	expected := float64(draws) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.9 {
+		t.Fatalf("Intn not uniform: chi2 = %.2f", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(13)
+	for _, lambda := range []float64{0.5, 3, 12, 50, 200} {
+		const n = 50000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		tol := 5 * math.Sqrt(lambda/n) * 3 // generous 3-sigma-ish band
+		if math.Abs(mean-lambda) > math.Max(tol, 0.05*lambda) {
+			t.Errorf("Poisson(%g) mean %.3f", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+0.5 {
+			t.Errorf("Poisson(%g) variance %.3f", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := New(1)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-3); v != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", v)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(17)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {100, 0.5}, {1000, 0.01}, {500, 0.9}} {
+		const draws = 20000
+		var sum float64
+		for i := 0; i < draws; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%g) = %d out of range", tc.n, tc.p, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / draws
+		want := float64(tc.n) * tc.p
+		sigma := math.Sqrt(float64(tc.n)*tc.p*(1-tc.p)) / math.Sqrt(draws)
+		if math.Abs(mean-want) > 6*sigma+0.01 {
+			t.Errorf("Binomial(%d,%g) mean %.3f, want %.3f", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(19)
+	if v := r.Binomial(10, 0); v != 0 {
+		t.Fatalf("Binomial(10,0) = %d", v)
+	}
+	if v := r.Binomial(10, 1); v != 10 {
+		t.Fatalf("Binomial(10,1) = %d", v)
+	}
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0,0.5) = %d", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	if err := quick.Check(func(sz uint8) bool {
+		n := int(sz%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpPositiveMean(t *testing.T) {
+	r := New(29)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp()
+		if v < 0 {
+			t.Fatalf("Exp() negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %.4f, want ~1", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(31)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance %.4f", variance)
+	}
+}
+
+func TestJumpChangesStream(t *testing.T) {
+	a := New(37)
+	b := New(37)
+	b.Jump()
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("jumped stream overlaps original %d times", matches)
+	}
+}
+
+func TestShuffleIntsPreservesMultiset(t *testing.T) {
+	r := New(41)
+	s := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	after := 0
+	for _, v := range s {
+		after += v
+	}
+	if sum != after {
+		t.Fatalf("shuffle changed contents: sum %d -> %d", sum, after)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(500)
+	}
+}

@@ -1,0 +1,100 @@
+package sbp
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mcmc"
+)
+
+// Degenerate inputs must not hang, panic, or return inconsistent
+// models. These guard the driver's bracketing logic and the engines'
+// convergence tests against empty structure.
+
+func TestSingleVertexGraph(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	for _, alg := range []mcmc.Algorithm{mcmc.SerialMH, mcmc.AsyncGibbs, mcmc.Hybrid} {
+		res := Run(g, DefaultOptions(alg))
+		if res.NumCommunities != 1 {
+			t.Fatalf("%v: %d communities for a single vertex", alg, res.NumCommunities)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.MustNew(20, nil)
+	res := Run(g, DefaultOptions(mcmc.Hybrid))
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.MDL != 0 {
+		t.Fatalf("edgeless MDL = %v, want 0", res.MDL)
+	}
+}
+
+func TestSelfLoopOnlyGraph(t *testing.T) {
+	edges := make([]graph.Edge, 10)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(i), Dst: int32(i)}
+	}
+	g := graph.MustNew(10, edges)
+	res := Run(g, DefaultOptions(mcmc.SerialMH))
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoVertexGraph(t *testing.T) {
+	g := graph.MustNew(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	res := Run(g, DefaultOptions(mcmc.AsyncGibbs))
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities < 1 || res.NumCommunities > 2 {
+		t.Fatalf("communities = %d", res.NumCommunities)
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	// One hub, many leaves: H-SBP's V* is the hub; this exercises the
+	// degree split at its most extreme.
+	var edges []graph.Edge
+	for i := 1; i < 40; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: int32(i)})
+	}
+	g := graph.MustNew(40, edges)
+	res := Run(g, DefaultOptions(mcmc.Hybrid))
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	// Two components with no connecting edges: the driver must still
+	// terminate and the partition should not merge across components
+	// into a single block (two dense cliques are two natural blocks).
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: int32(i), Dst: int32(j)})
+				edges = append(edges, graph.Edge{Src: int32(i + 8), Dst: int32(j + 8)})
+			}
+		}
+	}
+	g := graph.MustNew(16, edges)
+	res := Run(g, DefaultOptions(mcmc.SerialMH))
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities < 2 {
+		t.Fatalf("disconnected cliques merged into %d communities", res.NumCommunities)
+	}
+}
+
+func TestBatchedEngineEndToEnd(t *testing.T) {
+	endToEnd(t, mcmc.BatchedGibbs)
+}

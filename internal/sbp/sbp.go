@@ -1,0 +1,274 @@
+// Package sbp implements the outer loop of stochastic block partitioning:
+// alternating block-merge and MCMC phases wrapped in the Fibonacci
+// (golden-section) search over the number of communities described in
+// §2.2 and Fig 1 of the paper. The MCMC phase runs one of the three
+// engines — serial Metropolis-Hastings (SBP), asynchronous Gibbs (A-SBP)
+// or the hybrid (H-SBP) — selected by the caller; the merge phase is
+// always parallel, so runtime differences between variants are
+// attributable solely to the MCMC phase, as in the paper's experiments.
+package sbp
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/graph"
+	"repro/internal/mcmc"
+	"repro/internal/merge"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Options configures a full SBP run.
+type Options struct {
+	// Algorithm selects the MCMC engine (SBP, A-SBP or H-SBP).
+	Algorithm mcmc.Algorithm
+
+	// MCMC holds the MCMC-phase tunables.
+	MCMC mcmc.Config
+
+	// Merge holds the merge-phase tunables.
+	Merge merge.Config
+
+	// ReductionFactor is the fraction of communities merged away per
+	// outer iteration while searching downward; the paper halves the
+	// community count (0.5).
+	ReductionFactor float64
+
+	// GoldenRatio is the interior division point of the golden-section
+	// search once the MDL bracket is established.
+	GoldenRatio float64
+
+	// Seed seeds the deterministic RNG tree for the whole run.
+	Seed uint64
+
+	// Progress, when non-nil, is invoked after every outer iteration
+	// with that iteration's statistics — the hook CLI tools use for
+	// verbose output. It must not retain the stats' blockmodel.
+	Progress func(IterationStats)
+}
+
+// DefaultOptions returns options matching the paper's setup with the
+// given engine.
+func DefaultOptions(alg mcmc.Algorithm) Options {
+	return Options{
+		Algorithm:       alg,
+		MCMC:            mcmc.DefaultConfig(),
+		Merge:           merge.DefaultConfig(),
+		ReductionFactor: 0.5,
+		GoldenRatio:     2 / (1 + math.Sqrt(5)), // ≈ 0.618
+		Seed:            1,
+	}
+}
+
+// IterationStats records one outer iteration (one merge phase + one MCMC
+// phase) for the timing-breakdown and iteration-count figures.
+type IterationStats struct {
+	StartBlocks  int // non-empty blocks before the merge phase
+	TargetBlocks int // requested block count after merging
+	Merge        merge.Stats
+	MCMC         mcmc.Stats
+	MDL          float64
+	MergeTime    time.Duration
+	MCMCTime     time.Duration
+}
+
+// Result is the outcome of a full SBP run.
+type Result struct {
+	Best           *blockmodel.Blockmodel
+	MDL            float64
+	NormalizedMDL  float64
+	NumCommunities int
+
+	Iterations []IterationStats
+
+	// Totals for the paper's figures.
+	TotalMCMCSweeps int           // Fig 8
+	MCMCTime        time.Duration // Figs 2, 4b, 6
+	MergeTime       time.Duration
+	TotalTime       time.Duration
+
+	// Work/span accounts for modelling speedup at arbitrary thread
+	// counts (Figs 4b, 6, 7).
+	MCMCCost  parallel.CostModel
+	MergeCost parallel.CostModel
+}
+
+// bracketEntry is one endpoint of the golden-section search: a blockmodel
+// snapshot at a given community count with its MDL.
+type bracketEntry struct {
+	bm  *blockmodel.Blockmodel
+	mdl float64
+	c   int
+}
+
+// bracket holds up to three states ordered by decreasing community
+// count: hi.c > mid.c > lo.c, with mid the best MDL seen. The search is
+// "established" once states on both sides of the optimum exist.
+type bracket struct {
+	hi, mid, lo *bracketEntry
+}
+
+// insert places a new state into the bracket, keeping the invariant that
+// mid has the lowest MDL.
+func (b *bracket) insert(e *bracketEntry) {
+	switch {
+	case b.mid == nil:
+		b.mid = e
+	case e.mdl < b.mid.mdl:
+		if e.c > b.mid.c {
+			b.lo = b.mid
+		} else {
+			b.hi = b.mid
+		}
+		b.mid = e
+	default:
+		if e.c > b.mid.c {
+			b.hi = e
+		} else {
+			b.lo = e
+		}
+	}
+}
+
+// established reports whether the optimum is bounded from below: a state
+// with a smaller community count and worse MDL than mid exists. The
+// upper side is always bounded — by hi when set, otherwise by mid itself
+// (the search starts from C = V, so nothing lies above the first mid).
+func (b *bracket) established() bool { return b.mid != nil && b.lo != nil }
+
+// upperC returns the largest bracketed community count.
+func (b *bracket) upperC() int {
+	if b.hi != nil {
+		return b.hi.c
+	}
+	return b.mid.c
+}
+
+// done reports whether no untested community count remains strictly
+// inside the bracket.
+func (b *bracket) done() bool {
+	return b.established() && b.upperC()-b.lo.c <= 2
+}
+
+// Run performs community detection on g and returns the best blockmodel
+// found (lowest MDL over the whole search).
+func Run(g *graph.Graph, opts Options) *Result {
+	start := time.Now()
+	rn := rng.New(opts.Seed)
+	res := &Result{}
+
+	cur := blockmodel.Identity(g, opts.MCMC.Workers)
+	br := &bracket{}
+	br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
+
+	// The reduction phase takes O(log V) iterations and the golden-section
+	// phase O(log V) more; the cap only guards against non-convergence
+	// when MCMC compaction keeps landing on already-probed counts.
+	maxIter := 16 + 4*bits64(uint64(g.NumVertices())+1)
+	for iter := 0; !br.done() && iter < maxIter; iter++ {
+		from, target := nextTarget(br, opts)
+		if from == nil || target < 1 || target >= from.c {
+			break
+		}
+		work := from.bm.Clone()
+
+		// Merge phase: reduce to the target community count.
+		mergeStart := time.Now()
+		ms := merge.Phase(work, from.c-target, opts.Merge, rn)
+		mergeTime := time.Since(mergeStart)
+
+		// MCMC phase: refine vertex memberships at this community count.
+		mcmcStart := time.Now()
+		cs := mcmc.Run(work, opts.Algorithm, opts.MCMC, rn)
+		mcmcTime := time.Since(mcmcStart)
+		work.Compact(opts.MCMC.Workers)
+
+		mdl := work.MDL()
+		it := IterationStats{
+			StartBlocks:  from.c,
+			TargetBlocks: target,
+			Merge:        ms,
+			MCMC:         cs,
+			MDL:          mdl,
+			MergeTime:    mergeTime,
+			MCMCTime:     mcmcTime,
+		}
+		res.Iterations = append(res.Iterations, it)
+		if opts.Progress != nil {
+			opts.Progress(it)
+		}
+		res.TotalMCMCSweeps += cs.Sweeps
+		res.MCMCTime += mcmcTime
+		res.MergeTime += mergeTime
+		res.MCMCCost.Merge(cs.Cost)
+		res.MergeCost.Merge(ms.Cost)
+
+		br.insert(&bracketEntry{bm: work, mdl: mdl, c: work.NumNonEmptyBlocks()})
+	}
+
+	best := br.mid
+	res.Best = best.bm
+	res.MDL = best.mdl
+	res.NormalizedMDL = best.bm.NormalizedMDL()
+	res.NumCommunities = best.c
+	res.TotalTime = time.Since(start)
+	return res
+}
+
+// bits64 returns the number of bits needed to represent x (≈ log2).
+func bits64(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// nextTarget picks the state to continue from and the community count to
+// merge down to. While the bracket is not established the search
+// agglomerates from the best state by the reduction factor; afterwards it
+// probes the golden-section point of the larger remaining interval.
+func nextTarget(br *bracket, opts Options) (*bracketEntry, int) {
+	if !br.established() {
+		from := br.mid
+		target := int(float64(from.c) * (1 - opts.ReductionFactor))
+		if target < 1 {
+			target = 1
+		}
+		if target >= from.c {
+			target = from.c - 1
+		}
+		return from, target
+	}
+	upper := 0
+	if br.hi != nil {
+		upper = br.hi.c - br.mid.c
+	}
+	lower := br.mid.c - br.lo.c
+	if upper >= lower && upper > 1 {
+		// Probe inside (mid, hi): start from hi and merge down.
+		target := br.mid.c + int(math.Round(opts.GoldenRatio*float64(upper)))
+		if target >= br.hi.c {
+			target = br.hi.c - 1
+		}
+		if target <= br.mid.c {
+			target = br.mid.c + 1
+		}
+		return br.hi, target
+	}
+	if lower > 1 {
+		// Probe inside (lo, mid): start from mid and merge down.
+		target := br.lo.c + int(math.Round(opts.GoldenRatio*float64(lower)))
+		if target >= br.mid.c {
+			target = br.mid.c - 1
+		}
+		if target <= br.lo.c {
+			target = br.lo.c + 1
+		}
+		return br.mid, target
+	}
+	return nil, 0
+}

@@ -1,0 +1,207 @@
+package sbp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mcmc"
+	"repro/internal/metrics"
+)
+
+func TestBracketInsertOrdering(t *testing.T) {
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 64})
+	if br.mid == nil || br.mid.c != 64 {
+		t.Fatal("first insert should become mid")
+	}
+	// Better state at lower C: new mid, old mid becomes hi.
+	br.insert(&bracketEntry{mdl: 90, c: 32})
+	if br.mid.c != 32 || br.hi == nil || br.hi.c != 64 {
+		t.Fatalf("after better-lower insert: mid=%v hi=%v", br.mid, br.hi)
+	}
+	// Worse state at lower C: becomes lo, bracket established.
+	br.insert(&bracketEntry{mdl: 95, c: 16})
+	if br.lo == nil || br.lo.c != 16 {
+		t.Fatal("worse-lower insert should become lo")
+	}
+	if !br.established() {
+		t.Fatal("bracket should be established")
+	}
+}
+
+func TestBracketBetterHigherC(t *testing.T) {
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 32})
+	br.insert(&bracketEntry{mdl: 90, c: 64}) // better at HIGHER c
+	if br.mid.c != 64 || br.lo == nil || br.lo.c != 32 {
+		t.Fatalf("mid=%+v lo=%+v", br.mid, br.lo)
+	}
+}
+
+func TestBracketEstablishedWithoutHi(t *testing.T) {
+	// First reduction already worsens MDL: mid stays at the top (C = V)
+	// and the bracket is still considered established (mid bounds the
+	// upper side).
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 64})
+	br.insert(&bracketEntry{mdl: 120, c: 32})
+	if !br.established() {
+		t.Fatal("bracket with worse first reduction should be established")
+	}
+	if br.upperC() != 64 {
+		t.Fatalf("upperC = %d", br.upperC())
+	}
+}
+
+func TestBracketDone(t *testing.T) {
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 10})
+	br.insert(&bracketEntry{mdl: 90, c: 9})
+	br.insert(&bracketEntry{mdl: 95, c: 8})
+	if !br.done() {
+		t.Fatalf("gap hi−lo = 2 should be done: hi=%d mid=%d lo=%d", br.hi.c, br.mid.c, br.lo.c)
+	}
+}
+
+func TestNextTargetReductionPhase(t *testing.T) {
+	opts := DefaultOptions(mcmc.SerialMH)
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 100})
+	from, target := nextTarget(br, opts)
+	if from.c != 100 || target != 50 {
+		t.Fatalf("reduction target = %d from C=%d, want 50", target, from.c)
+	}
+}
+
+func TestNextTargetGoldenSection(t *testing.T) {
+	opts := DefaultOptions(mcmc.SerialMH)
+	br := &bracket{
+		hi:  &bracketEntry{mdl: 100, c: 100},
+		mid: &bracketEntry{mdl: 80, c: 50},
+		lo:  &bracketEntry{mdl: 90, c: 10},
+	}
+	from, target := nextTarget(br, opts)
+	// Upper interval (50,100) is larger: probe there from hi.
+	if from != br.hi {
+		t.Fatal("should probe from hi")
+	}
+	if target <= 50 || target >= 100 {
+		t.Fatalf("target %d outside (50,100)", target)
+	}
+
+	// Shrink the upper side; the probe must move to the lower interval.
+	br.hi = &bracketEntry{mdl: 85, c: 52}
+	from, target = nextTarget(br, opts)
+	if from != br.mid {
+		t.Fatal("should probe from mid into the lower interval")
+	}
+	if target <= 10 || target >= 50 {
+		t.Fatalf("target %d outside (10,50)", target)
+	}
+}
+
+func TestNextTargetExhausted(t *testing.T) {
+	opts := DefaultOptions(mcmc.SerialMH)
+	br := &bracket{
+		hi:  &bracketEntry{mdl: 100, c: 5},
+		mid: &bracketEntry{mdl: 80, c: 4},
+		lo:  &bracketEntry{mdl: 90, c: 3},
+	}
+	from, _ := nextTarget(br, opts)
+	if from != nil {
+		t.Fatal("exhausted bracket should yield no target")
+	}
+}
+
+func endToEnd(t *testing.T, alg mcmc.Algorithm) {
+	t.Helper()
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "e2e", Vertices: 150, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 5, SizeSkew: 0.3, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(alg)
+	opts.Seed = 44
+	opts.MCMC.Workers = 2
+	opts.Merge.Workers = 2
+	res := Run(g, opts)
+	if res.Best == nil {
+		t.Fatal("no result")
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("result model inconsistent: %v", err)
+	}
+	nmi, err := metrics.NMI(truth, res.Best.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.85 {
+		t.Fatalf("%s end-to-end NMI %.3f < 0.85 (C=%d)", alg, nmi, res.NumCommunities)
+	}
+	if res.NormalizedMDL >= 1 {
+		t.Fatalf("structured graph got normalized MDL %v", res.NormalizedMDL)
+	}
+	if res.NumCommunities < 2 || res.NumCommunities > 10 {
+		t.Fatalf("found %d communities, planted 4", res.NumCommunities)
+	}
+	if res.TotalMCMCSweeps < 1 || len(res.Iterations) < 2 {
+		t.Fatal("missing iteration statistics")
+	}
+	if res.MCMCTime <= 0 || res.TotalTime < res.MCMCTime {
+		t.Fatal("timing accounting inconsistent")
+	}
+}
+
+func TestEndToEndSerial(t *testing.T) { endToEnd(t, mcmc.SerialMH) }
+func TestEndToEndAsync(t *testing.T)  { endToEnd(t, mcmc.AsyncGibbs) }
+func TestEndToEndHybrid(t *testing.T) { endToEnd(t, mcmc.Hybrid) }
+
+func TestRunDeterministic(t *testing.T) {
+	g, _, err := gen.Generate(gen.Spec{
+		Name: "det", Vertices: 80, Communities: 3, MinDegree: 4, MaxDegree: 15,
+		Exponent: 2.5, Ratio: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(mcmc.Hybrid)
+	opts.MCMC.Workers = 2
+	opts.Merge.Workers = 2
+	a := Run(g, opts)
+	b := Run(g, opts)
+	if a.MDL != b.MDL || a.NumCommunities != b.NumCommunities {
+		t.Fatalf("runs differ: MDL %v vs %v", a.MDL, b.MDL)
+	}
+}
+
+func TestCostAccountsPopulated(t *testing.T) {
+	g, _, err := gen.Generate(gen.Spec{
+		Name: "cost", Vertices: 80, Communities: 3, MinDegree: 4, MaxDegree: 15,
+		Exponent: 2.5, Ratio: 5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(g, DefaultOptions(mcmc.AsyncGibbs))
+	if res.MCMCCost.ParallelWork <= 0 {
+		t.Fatal("A-SBP run recorded no parallel MCMC work")
+	}
+	if res.MergeCost.ParallelWork <= 0 {
+		t.Fatal("merge phase recorded no parallel work")
+	}
+	serial := Run(g, DefaultOptions(mcmc.SerialMH))
+	if serial.MCMCCost.SerialWork <= 0 || serial.MCMCCost.ParallelWork != 0 {
+		t.Fatal("SBP MCMC work accounting wrong")
+	}
+}
+
+func TestBits64(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9}
+	for x, want := range cases {
+		if got := bits64(x); got != want {
+			t.Fatalf("bits64(%d) = %d, want %d", x, got, want)
+		}
+	}
+}

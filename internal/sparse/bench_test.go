@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchMatrix(c, nnz int, seed uint64) *Matrix {
+	m := NewMatrix(c)
+	r := rng.New(seed)
+	for i := 0; i < nnz; i++ {
+		m.Add(r.Intn(c), r.Intn(c), int64(r.Intn(5)+1))
+	}
+	return m
+}
+
+func BenchmarkAdd(b *testing.B) {
+	for _, c := range []int{64, 1024} { // dense and sparse modes
+		b.Run("C="+strconv.Itoa(c), func(b *testing.B) {
+			m := NewMatrix(c)
+			r := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Add(r.Intn(c), r.Intn(c), 1)
+			}
+		})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for _, c := range []int{64, 1024} {
+		b.Run("C="+strconv.Itoa(c), func(b *testing.B) {
+			m := benchMatrix(c, 10*c, 2)
+			r := rng.New(3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Get(r.Intn(c), r.Intn(c))
+			}
+		})
+	}
+}
+
+func BenchmarkRowNZ(b *testing.B) {
+	for _, c := range []int{64, 1024} {
+		b.Run("C="+strconv.Itoa(c), func(b *testing.B) {
+			m := benchMatrix(c, 10*c, 4)
+			r := rng.New(5)
+			var sink int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RowNZ(r.Intn(c), func(_ int32, v int64) { sink += v })
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	m := benchMatrix(512, 5120, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}

@@ -1,0 +1,277 @@
+// Package sparse implements the block matrix M used by the degree-
+// corrected stochastic blockmodel: a C×C matrix of non-negative edge
+// counts where M[r][s] is the number of edges from community r to
+// community s.
+//
+// Early SBP iterations have C on the order of the vertex count (every
+// vertex starts in its own block), so a dense C×C array is infeasible; M
+// is extremely sparse there. Late iterations have small C where dense
+// storage is far faster. The Matrix therefore switches representation:
+// hash rows + hash columns above DenseThreshold blocks, one dense array
+// below. Both row and column iteration are O(nonzeros) because the MCMC
+// delta computation must walk row r and column r of the current and
+// proposed blocks.
+package sparse
+
+import "fmt"
+
+// DenseThreshold is the block count at or below which a freshly created
+// Matrix uses dense storage.
+const DenseThreshold = 256
+
+// Matrix is a C×C matrix of int64 edge counts.
+// It is not safe for concurrent mutation; concurrent reads are safe.
+type Matrix struct {
+	c     int
+	dense []int64           // len c*c when in dense mode, nil otherwise
+	rows  []map[int32]int64 // per-row nonzeros when in sparse mode
+	cols  []map[int32]int64 // transpose index (same counts, keyed by row)
+}
+
+// NewMatrix returns a zero C×C matrix, choosing dense or sparse storage
+// by DenseThreshold.
+func NewMatrix(c int) *Matrix {
+	if c < 0 {
+		panic(fmt.Sprintf("sparse: negative block count %d", c))
+	}
+	m := &Matrix{c: c}
+	if c <= DenseThreshold {
+		m.dense = make([]int64, c*c)
+	} else {
+		m.rows = make([]map[int32]int64, c)
+		m.cols = make([]map[int32]int64, c)
+	}
+	return m
+}
+
+// NumBlocks returns C.
+func (m *Matrix) NumBlocks() int { return m.c }
+
+// IsDense reports whether the matrix currently uses dense storage.
+func (m *Matrix) IsDense() bool { return m.dense != nil }
+
+// Get returns M[r][s].
+func (m *Matrix) Get(r, s int) int64 {
+	if m.dense != nil {
+		return m.dense[r*m.c+s]
+	}
+	if m.rows[r] == nil {
+		return 0
+	}
+	return m.rows[r][int32(s)]
+}
+
+// Add adds delta to M[r][s]. Counts must remain non-negative; Add panics
+// on underflow, which indicates a bookkeeping bug in the caller.
+func (m *Matrix) Add(r, s int, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if m.dense != nil {
+		v := m.dense[r*m.c+s] + delta
+		if v < 0 {
+			panic(fmt.Sprintf("sparse: M[%d][%d] underflow to %d", r, s, v))
+		}
+		m.dense[r*m.c+s] = v
+		return
+	}
+	if m.rows[r] == nil {
+		m.rows[r] = make(map[int32]int64, 4)
+	}
+	v := m.rows[r][int32(s)] + delta
+	switch {
+	case v < 0:
+		panic(fmt.Sprintf("sparse: M[%d][%d] underflow to %d", r, s, v))
+	case v == 0:
+		delete(m.rows[r], int32(s))
+	default:
+		m.rows[r][int32(s)] = v
+	}
+	if m.cols[s] == nil {
+		m.cols[s] = make(map[int32]int64, 4)
+	}
+	cv := m.cols[s][int32(r)] + delta
+	if cv == 0 {
+		delete(m.cols[s], int32(r))
+	} else {
+		m.cols[s][int32(r)] = cv
+	}
+}
+
+// RowNZ calls fn(s, count) for every nonzero M[r][s]. Iteration order is
+// unspecified in sparse mode. fn must not mutate the matrix.
+func (m *Matrix) RowNZ(r int, fn func(s int32, count int64)) {
+	if m.dense != nil {
+		base := r * m.c
+		for s := 0; s < m.c; s++ {
+			if v := m.dense[base+s]; v != 0 {
+				fn(int32(s), v)
+			}
+		}
+		return
+	}
+	for s, v := range m.rows[r] {
+		fn(s, v)
+	}
+}
+
+// ColNZ calls fn(r, count) for every nonzero M[r][s].
+func (m *Matrix) ColNZ(s int, fn func(r int32, count int64)) {
+	if m.dense != nil {
+		for r := 0; r < m.c; r++ {
+			if v := m.dense[r*m.c+s]; v != 0 {
+				fn(int32(r), v)
+			}
+		}
+		return
+	}
+	for r, v := range m.cols[s] {
+		fn(r, v)
+	}
+}
+
+// RowNZUntil is RowNZ with early exit: iteration stops when fn returns
+// false. Returns false if iteration was stopped early.
+func (m *Matrix) RowNZUntil(r int, fn func(s int32, count int64) bool) bool {
+	if m.dense != nil {
+		base := r * m.c
+		for s := 0; s < m.c; s++ {
+			if v := m.dense[base+s]; v != 0 {
+				if !fn(int32(s), v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for s, v := range m.rows[r] {
+		if !fn(s, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColNZUntil is ColNZ with early exit: iteration stops when fn returns
+// false. Returns false if iteration was stopped early.
+func (m *Matrix) ColNZUntil(s int, fn func(r int32, count int64) bool) bool {
+	if m.dense != nil {
+		for r := 0; r < m.c; r++ {
+			if v := m.dense[r*m.c+s]; v != 0 {
+				if !fn(int32(r), v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for r, v := range m.cols[s] {
+		if !fn(r, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowSum returns the sum of row r (the out-degree of block r).
+func (m *Matrix) RowSum(r int) int64 {
+	var sum int64
+	m.RowNZ(r, func(_ int32, v int64) { sum += v })
+	return sum
+}
+
+// ColSum returns the sum of column s (the in-degree of block s).
+func (m *Matrix) ColSum(s int) int64 {
+	var sum int64
+	m.ColNZ(s, func(_ int32, v int64) { sum += v })
+	return sum
+}
+
+// Total returns the sum of all entries (the edge count E).
+func (m *Matrix) Total() int64 {
+	var sum int64
+	if m.dense != nil {
+		for _, v := range m.dense {
+			sum += v
+		}
+		return sum
+	}
+	for r := range m.rows {
+		for _, v := range m.rows[r] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{c: m.c}
+	if m.dense != nil {
+		out.dense = make([]int64, len(m.dense))
+		copy(out.dense, m.dense)
+		return out
+	}
+	out.rows = make([]map[int32]int64, m.c)
+	out.cols = make([]map[int32]int64, m.c)
+	for r, row := range m.rows {
+		if len(row) == 0 {
+			continue
+		}
+		cp := make(map[int32]int64, len(row))
+		for k, v := range row {
+			cp[k] = v
+		}
+		out.rows[r] = cp
+	}
+	for s, col := range m.cols {
+		if len(col) == 0 {
+			continue
+		}
+		cp := make(map[int32]int64, len(col))
+		for k, v := range col {
+			cp[k] = v
+		}
+		out.cols[s] = cp
+	}
+	return out
+}
+
+// NonZeros returns the number of nonzero entries.
+func (m *Matrix) NonZeros() int {
+	n := 0
+	if m.dense != nil {
+		for _, v := range m.dense {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for r := range m.rows {
+		n += len(m.rows[r])
+	}
+	return n
+}
+
+// Equal reports whether m and o hold identical counts (representation-
+// independent).
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.c != o.c {
+		return false
+	}
+	equal := true
+	for r := 0; r < m.c && equal; r++ {
+		m.RowNZ(r, func(s int32, v int64) {
+			if o.Get(r, int(s)) != v {
+				equal = false
+			}
+		})
+		o.RowNZ(r, func(s int32, v int64) {
+			if m.Get(r, int(s)) != v {
+				equal = false
+			}
+		})
+	}
+	return equal
+}

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// streamedGraph generates a structured graph and splits its edges into
+// batches in random order.
+func streamedGraph(t *testing.T, batches int, seed uint64) (*graph.Graph, []int32, [][]graph.Edge) {
+	t.Helper()
+	// V is kept at 250 (< the 256-block dense threshold) so every phase
+	// of the refinement runs in the dense, fully deterministic regime;
+	// see the reproducibility note in DESIGN.md §4.
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "stream", Vertices: 250, Communities: 4, MinDegree: 6, MaxDegree: 25,
+		Exponent: 2.5, Ratio: 6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	r := rng.New(seed + 1)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	out := make([][]graph.Edge, batches)
+	for b := 0; b < batches; b++ {
+		lo := b * len(edges) / batches
+		hi := (b + 1) * len(edges) / batches
+		out[b] = edges[lo:hi]
+	}
+	return g, truth, out
+}
+
+func TestStreamingConvergesToBatchQuality(t *testing.T) {
+	g, truth, batches := streamedGraph(t, 5, 3)
+	d := NewDetector(DefaultConfig())
+	for _, batch := range batches {
+		if err := d.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumEdges() != g.NumEdges() {
+		t.Fatalf("ingested %d of %d edges", d.NumEdges(), g.NumEdges())
+	}
+	if d.NumVertices() > g.NumVertices() {
+		t.Fatalf("vertex universe grew to %d", d.NumVertices())
+	}
+	// Score only over the vertices the stream has seen.
+	nmi, err := metrics.NMI(truth[:d.NumVertices()], d.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.85 {
+		t.Fatalf("streaming NMI %.3f after full stream", nmi)
+	}
+	if err := d.Model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingSingleBatchEqualsFullRun(t *testing.T) {
+	g, truth, batches := streamedGraph(t, 1, 5)
+	d := NewDetector(DefaultConfig())
+	if err := d.Ingest(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := metrics.NMI(truth[:d.NumVertices()], d.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.85 {
+		t.Fatalf("single-batch NMI %.3f", nmi)
+	}
+	_ = g
+}
+
+func TestStreamingQualityImprovesWithData(t *testing.T) {
+	_, truth, batches := streamedGraph(t, 6, 7)
+	d := NewDetector(DefaultConfig())
+	if err := d.Ingest(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batches[1:] {
+		if err := d.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late, err := metrics.NMI(truth[:d.NumVertices()], d.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one sixth of the edges the partition is far from truth; with
+	// all edges it should be close.
+	if late < 0.8 {
+		t.Fatalf("final streaming NMI %.3f", late)
+	}
+}
+
+func TestStreamingNewVerticesGetBlocks(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	if err := d.Ingest([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() != 3 {
+		t.Fatalf("V = %d", d.NumVertices())
+	}
+	// A later batch introduces vertex ids beyond anything seen.
+	if err := d.Ingest([]graph.Edge{{Src: 10, Dst: 11}, {Src: 11, Dst: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() != 12 {
+		t.Fatalf("V = %d after growth", d.NumVertices())
+	}
+	if len(d.Assignment()) != 12 {
+		t.Fatalf("assignment length %d", len(d.Assignment()))
+	}
+	if err := d.Model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingRejectsNegativeIDs(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	if err := d.Ingest([]graph.Edge{{Src: -1, Dst: 0}}); err == nil {
+		t.Fatal("negative vertex id accepted")
+	}
+}
+
+func TestStreamingEmptyBatchNoop(t *testing.T) {
+	_, _, batches := streamedGraph(t, 2, 9)
+	d := NewDetector(DefaultConfig())
+	if err := d.Ingest(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := d.NumCommunities()
+	if err := d.Ingest(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCommunities() != before {
+		t.Fatal("empty batch changed the partition")
+	}
+}
+
+func TestStreamingFullSearchPeriod(t *testing.T) {
+	_, truth, batches := streamedGraph(t, 4, 11)
+	cfg := DefaultConfig()
+	cfg.FullSearchPeriod = 2 // full search on batches 2 and 4
+	d := NewDetector(cfg)
+	for _, batch := range batches {
+		if err := d.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nmi, err := metrics.NMI(truth[:d.NumVertices()], d.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.85 {
+		t.Fatalf("periodic-full-search NMI %.3f", nmi)
+	}
+}

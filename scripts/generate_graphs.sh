@@ -1,0 +1,14 @@
+#!/bin/sh
+# Generate the Table 1 synthetic datasets as edge-list + ground-truth
+# files (mirrors the dataset-generation script of the paper's artifact).
+#
+# Usage: scripts/generate_graphs.sh [scale] [outdir]
+set -eu
+scale="${1:-0.01}"
+outdir="${2:-datasets}"
+mkdir -p "$outdir"
+for n in $(seq 1 24); do
+    go run ./cmd/gengraph -table1 "S$n" -scale "$scale" \
+        -out "$outdir/S$n.tsv" -truth "$outdir/S$n.truth"
+done
+echo "wrote 24 datasets to $outdir (scale $scale)"

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Regenerate every table and figure plus the future-work experiments.
+set -eu
+go run ./cmd/experiments -exp all -csvdir results "$@"

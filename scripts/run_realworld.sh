@@ -1,0 +1,10 @@
+#!/bin/sh
+# Run the real-world experiments (Figs 5, 6, 7, 8b) on the Table 2
+# stand-ins with the paper's 5-runs/best-MDL protocol.
+#
+# Usage: scripts/run_realworld.sh [realscale] [runs]
+set -eu
+realscale="${1:-0.002}"
+runs="${2:-5}"
+go run ./cmd/experiments -exp fig5,fig6,fig7,fig8b \
+    -realscale "$realscale" -runs "$runs" -csvdir results

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Run the synthetic-graph experiments (Figs 2, 3, 4a, 4b, 8a) with the
+# paper's 5-runs/best-MDL protocol at the given scale.
+#
+# Usage: scripts/run_synthetic.sh [scale] [runs]
+set -eu
+scale="${1:-0.005}"
+runs="${2:-5}"
+go run ./cmd/experiments -exp fig2,fig3,fig4a,fig4b,fig8a \
+    -scale "$scale" -runs "$runs" -csvdir results
