@@ -545,6 +545,73 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 }
 
+// BenchmarkImbalancePowerLaw measures the load balance of the
+// asynchronous pass on a power-law graph under both partition
+// strategies. Two metrics per strategy: the deterministic weight
+// imbalance of the partition itself (heaviest range's total degree over
+// the mean) and the measured per-sweep worker-time imbalance from the
+// sweep records. The degree-weighted partitioner must report a lower
+// weight imbalance than static chunking — that is the point of it.
+func BenchmarkImbalancePowerLaw(b *testing.B) {
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "plaw", Vertices: 4000, Communities: 8, MinDegree: 1, MaxDegree: 1200,
+		Exponent: 1.8, Ratio: 4, Seed: 41,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := int32(0)
+	for _, t := range truth {
+		if t >= c {
+			c = t + 1
+		}
+	}
+	const imbWorkers = 8
+	weight := func(i int) int64 { return int64(g.Degree(i)) + 1 }
+	imbOf := func(ranges []parallel.Range) float64 {
+		var total, heaviest int64
+		for _, r := range ranges {
+			var s int64
+			for i := r.Lo; i < r.Hi; i++ {
+				s += weight(i)
+			}
+			total += s
+			if s > heaviest {
+				heaviest = s
+			}
+		}
+		return float64(heaviest) * float64(len(ranges)) / float64(total)
+	}
+	staticImb := imbOf(parallel.StaticRanges(g.NumVertices(), imbWorkers))
+	degreeImb := imbOf(parallel.BalancedRanges(g.NumVertices(), imbWorkers, weight))
+
+	run := func(p mcmc.Partition) float64 {
+		bm, err := blockmodel.FromAssignment(g, truth, int(c), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := mcmc.DefaultConfig()
+		cfg.MaxSweeps = 6
+		cfg.Threshold = 0
+		cfg.Workers = imbWorkers
+		cfg.Partition = p
+		st := mcmc.Run(bm, mcmc.AsyncGibbs, cfg, rng.New(7))
+		return st.MeanImbalance()
+	}
+	var timeStatic, timeDegree float64
+	for i := 0; i < b.N; i++ {
+		timeStatic = run(mcmc.PartitionStatic)
+		timeDegree = run(mcmc.PartitionDegree)
+	}
+	b.ReportMetric(staticImb, "weight_imb_static")
+	b.ReportMetric(degreeImb, "weight_imb_degree")
+	b.ReportMetric(timeStatic, "time_imb_static")
+	b.ReportMetric(timeDegree, "time_imb_degree")
+	if degreeImb >= staticImb {
+		b.Fatalf("degree partition weight imbalance %.3f not below static %.3f", degreeImb, staticImb)
+	}
+}
+
 // BenchmarkMCMCSweep measures the per-sweep cost of each engine at a
 // fixed block count — the microbenchmark behind the speedup figures.
 func BenchmarkMCMCSweep(b *testing.B) {

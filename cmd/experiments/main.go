@@ -8,10 +8,13 @@
 //	experiments -exp fig6 -runs 5 -scale 0.01
 //
 // Results print as aligned text tables; -csvdir writes each table as a
-// CSV file as well.
+// CSV file as well. -sweeps FILE additionally dumps per-sweep
+// observability records (MDL trajectory, per-worker busy times, load
+// imbalance) for every engine as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +35,7 @@ func main() {
 	var (
 		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,fig3,fig4a,fig4b,fig5,fig6,fig7,fig8,alpha,baselines,dist,all")
 		csvdir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		sweeps  = flag.String("sweeps", "", "write per-sweep observability records for every engine as JSON to this file")
 		scale   = flag.Float64("scale", cfg.Scale, "synthetic graph scale (1 = published sizes)")
 		rscale  = flag.Float64("realscale", cfg.RealScale, "real-world stand-in scale")
 		runs    = flag.Int("runs", cfg.Runs, "runs per (graph, algorithm); best MDL kept (paper: 5)")
@@ -128,6 +132,20 @@ func main() {
 	}
 	if need("dist", "distributed") {
 		emit(cfg.FigDistributed())
+	}
+	if *sweeps != "" {
+		traces, err := cfg.SweepTraces()
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*sweeps, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote per-sweep traces for %d engine runs to %s\n", len(traces), *sweeps)
 	}
 
 	if *csvdir != "" {

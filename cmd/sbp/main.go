@@ -11,9 +11,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"runtime/pprof"
 	"time"
@@ -25,13 +28,24 @@ import (
 	"repro/internal/sbp"
 )
 
+// Live counters served on the -pprof address under /debug/vars,
+// updated after every outer iteration.
+var (
+	evIterations   = expvar.NewInt("sbp_iterations")
+	evSweeps       = expvar.NewInt("sbp_sweeps")
+	evProposals    = expvar.NewInt("sbp_proposals")
+	evAccepts      = expvar.NewInt("sbp_accepts")
+	evMDL          = expvar.NewFloat("sbp_mdl")
+	evMaxImbalance = expvar.NewFloat("sbp_max_imbalance")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sbp: ")
 
 	var (
 		graphPath = flag.String("graph", "", "path to the input graph (edge list or .mtx)")
-		algName   = flag.String("alg", "hsbp", "algorithm: sbp, asbp or hsbp")
+		algName   = flag.String("alg", "hsbp", "algorithm: sbp, asbp, hsbp or bsbp")
 		runs      = flag.Int("runs", 1, "number of runs; the lowest-MDL result is kept")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
@@ -39,9 +53,24 @@ func main() {
 		outPath   = flag.String("out", "", "write 'vertex community' lines to this file")
 		truthPath = flag.String("truth", "", "ground-truth assignment file; NMI is reported when set")
 		verbose   = flag.Bool("v", false, "print per-iteration progress")
+		vv        = flag.Bool("vv", false, "print a per-sweep table for every iteration (implies -v)")
+		partition = flag.String("partition", "degree", "async work partition: degree (balance total degree) or static (equal vertex counts)")
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *vv {
+		*verbose = true
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof/expvar listening on http://%s/debug/pprof", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *profile != "" {
 		f, err := os.Create(*profile)
@@ -63,6 +92,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	part, err := parsePartition(*partition)
+	if err != nil {
+		log.Fatal(err)
+	}
 	g, err := graph.LoadFile(*graphPath)
 	if err != nil {
 		log.Fatalf("loading %s: %v", *graphPath, err)
@@ -77,16 +110,29 @@ func main() {
 		opts.MCMC.Workers = *workers
 		opts.Merge.Workers = *workers
 		opts.MCMC.HybridFraction = *fraction
-		if *verbose {
-			opts.Progress = func(it sbp.IterationStats) {
-				fmt.Printf("  iter: C %d -> %d, MDL %.1f, %d sweeps (mcmc %v, merge %v)\n",
-					it.StartBlocks, it.TargetBlocks, it.MDL, it.MCMC.Sweeps,
+		opts.MCMC.Partition = part
+		opts.Progress = func(it sbp.IterationStats) {
+			evIterations.Add(1)
+			evSweeps.Add(int64(it.MCMC.Sweeps))
+			evProposals.Add(it.MCMC.Proposals)
+			evAccepts.Add(it.MCMC.Accepts)
+			evMDL.Set(it.MDL)
+			if m := it.MCMC.MaxImbalance(); m > evMaxImbalance.Value() {
+				evMaxImbalance.Set(m)
+			}
+			if *verbose {
+				fmt.Printf("  iter: C %d -> %d, MDL %.1f, %d sweeps, imb %.2f (mcmc %v, merge %v)\n",
+					it.StartBlocks, it.TargetBlocks, it.MDL, it.MCMC.Sweeps, it.MCMC.MaxImbalance(),
 					it.MCMCTime.Round(time.Millisecond), it.MergeTime.Round(time.Millisecond))
+			}
+			if *vv {
+				printSweepTable(it.MCMC.PerSweep)
 			}
 		}
 		res := sbp.Run(g, opts)
-		fmt.Printf("run %d: C=%d MDL=%.1f MDLnorm=%.4f (mcmc %v, total %v)\n",
+		fmt.Printf("run %d: C=%d MDL=%.1f MDLnorm=%.4f imb max/mean %.2f/%.2f (mcmc %v, total %v)\n",
 			i+1, res.NumCommunities, res.MDL, res.NormalizedMDL,
+			res.MaxImbalance, res.MeanImbalance,
 			res.MCMCTime.Round(time.Millisecond), res.TotalTime.Round(time.Millisecond))
 		if best == nil || res.MDL < best.MDL {
 			best = res
@@ -131,6 +177,55 @@ func main() {
 	}
 }
 
+// printSweepTable renders the per-sweep observability records of one
+// MCMC phase: MDL trajectory, proposal counts, where the time went, and
+// the worker-imbalance ratio of the parallel passes.
+func printSweepTable(recs []mcmc.SweepRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	fmt.Printf("    %5s %14s %9s %9s %9s %9s %9s %6s\n",
+		"sweep", "MDL", "props", "accepts", "serial", "worker", "rebuild", "imb")
+	for _, r := range recs {
+		var maxWorker float64
+		for _, t := range r.WorkerNS {
+			if t > maxWorker {
+				maxWorker = t
+			}
+		}
+		fmt.Printf("    %5d %14.1f %9d %9d %9s %9s %9s %6.2f\n",
+			r.Sweep, r.MDL, r.Proposals, r.Accepts,
+			fmtNS(r.SerialNS), fmtNS(maxWorker), fmtNS(r.RebuildNS), r.Imbalance)
+	}
+}
+
+// fmtNS renders nanoseconds as a rounded duration, "-" when zero.
+func fmtNS(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+func parsePartition(name string) (mcmc.Partition, error) {
+	switch name {
+	case "degree", "balanced":
+		return mcmc.PartitionDegree, nil
+	case "static", "chunked":
+		return mcmc.PartitionStatic, nil
+	default:
+		return 0, fmt.Errorf("unknown partition %q (want degree or static)", name)
+	}
+}
+
 func parseAlg(name string) (mcmc.Algorithm, error) {
 	switch name {
 	case "sbp":
@@ -139,7 +234,9 @@ func parseAlg(name string) (mcmc.Algorithm, error) {
 		return mcmc.AsyncGibbs, nil
 	case "hsbp", "h-sbp":
 		return mcmc.Hybrid, nil
+	case "bsbp", "b-sbp":
+		return mcmc.BatchedGibbs, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want sbp, asbp or hsbp)", name)
+		return 0, fmt.Errorf("unknown algorithm %q (want sbp, asbp, hsbp or bsbp)", name)
 	}
 }

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"repro/internal/mcmc"
+	"repro/internal/metrics"
+	"repro/internal/sbp"
+)
+
+// SweepTrace is the JSON observability record of one full SBP run: the
+// per-outer-iteration, per-sweep trajectory (MDL, proposal counts,
+// per-worker busy times, imbalance) that `experiments -sweeps` dumps
+// for offline analysis of the parallel phases' load balance.
+type SweepTrace struct {
+	Graph         string           `json:"graph"`
+	Algorithm     string           `json:"algorithm"`
+	Seed          uint64           `json:"seed"`
+	MDL           float64          `json:"mdl"`
+	NormalizedMDL float64          `json:"mdl_norm"`
+	Communities   int              `json:"communities"`
+	NMI           float64          `json:"nmi"` // -1 when no ground truth
+	MaxImbalance  float64          `json:"max_imbalance"`
+	MeanImbalance float64          `json:"mean_imbalance"`
+	TotalSweeps   int              `json:"total_sweeps"`
+	Iterations    []IterationTrace `json:"iterations"`
+}
+
+// IterationTrace is one outer iteration (merge + MCMC phase) of a
+// SweepTrace.
+type IterationTrace struct {
+	StartBlocks  int                `json:"start_blocks"`
+	TargetBlocks int                `json:"target_blocks"`
+	MDL          float64            `json:"mdl"`
+	MergeMS      float64            `json:"merge_ms"`
+	MCMCMS       float64            `json:"mcmc_ms"`
+	Sweeps       []mcmc.SweepRecord `json:"sweeps"`
+}
+
+// SweepTraces runs every MCMC engine once on the Table 1 reference
+// graph S5 under the config and returns one trace per engine.
+func (c Config) SweepTraces() ([]SweepTrace, error) {
+	g, truth, spec, err := c.syntheticGraph(5)
+	if err != nil {
+		return nil, err
+	}
+	algs := []mcmc.Algorithm{mcmc.SerialMH, mcmc.AsyncGibbs, mcmc.Hybrid, mcmc.BatchedGibbs}
+	traces := make([]SweepTrace, 0, len(algs))
+	for _, alg := range algs {
+		opts := c.options(alg, c.Seed)
+		res := sbp.Run(g, opts)
+		tr := SweepTrace{
+			Graph:         spec.Name,
+			Algorithm:     alg.String(),
+			Seed:          c.Seed,
+			MDL:           res.MDL,
+			NormalizedMDL: res.NormalizedMDL,
+			Communities:   res.NumCommunities,
+			NMI:           -1,
+			MaxImbalance:  res.MaxImbalance,
+			MeanImbalance: res.MeanImbalance,
+			TotalSweeps:   res.TotalMCMCSweeps,
+		}
+		if nmi, err := metrics.NMI(truth, res.Best.Assignment); err == nil {
+			tr.NMI = nmi
+		}
+		for _, it := range res.Iterations {
+			tr.Iterations = append(tr.Iterations, IterationTrace{
+				StartBlocks:  it.StartBlocks,
+				TargetBlocks: it.TargetBlocks,
+				MDL:          it.MDL,
+				MergeMS:      float64(it.MergeTime.Microseconds()) / 1000,
+				MCMCMS:       float64(it.MCMCTime.Microseconds()) / 1000,
+				Sweeps:       it.MCMC.PerSweep,
+			})
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

@@ -9,6 +9,41 @@ import (
 	"repro/internal/rng"
 )
 
+// passPlan is the precomputed work partition of one asynchronous vertex
+// set: which vertices the pass visits (nil = all of [0, n)) and the
+// contiguous index range each worker owns. Degrees do not change during
+// a phase, so engines build each plan once and reuse it every sweep.
+type passPlan struct {
+	vertices []int32
+	ranges   []parallel.Range
+}
+
+// newPassPlan partitions the vertex set for the configured number of
+// workers. PartitionDegree weights vertex v by Degree(v)+1 — proposal
+// evaluation walks v's adjacency, so total degree is the dominant cost
+// and the +1 models the fixed per-vertex overhead that keeps
+// zero-degree vertices from being free — and PartitionStatic keeps the
+// equal-count chunks of the original implementation.
+func newPassPlan(bm *blockmodel.Blockmodel, vertices []int32, workers int, strategy Partition) passPlan {
+	n := bm.G.NumVertices()
+	if vertices != nil {
+		n = len(vertices)
+	}
+	var ranges []parallel.Range
+	if strategy == PartitionStatic {
+		ranges = parallel.StaticRanges(n, workers)
+	} else {
+		ranges = parallel.BalancedRanges(n, workers, func(i int) int64 {
+			v := i
+			if vertices != nil {
+				v = int(vertices[i])
+			}
+			return int64(bm.G.Degree(v)) + 1
+		})
+	}
+	return passPlan{vertices: vertices, ranges: ranges}
+}
+
 // runAsync is Algorithm 3 (A-SBP): every sweep evaluates all vertices in
 // parallel against the blockmodel from the end of the previous sweep
 // ("at most one iteration stale", §3.1), records accepted moves in a
@@ -20,12 +55,20 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	workerRNGs := splitRNGs(rn, workers)
 	scratches := newScratches(workers)
 	next := make([]int32, len(bm.Assignment))
+	plan := newPassPlan(bm, nil, workers, cfg.Partition)
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-		asyncPass(bm, nil, next, cfg, workers, workerRNGs, scratches, &st) // nil = all vertices
-		rebuild(bm, next, cfg.Workers, &st)
+		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, len(plan.ranges))}
+		p0, a0 := st.Proposals, st.Accepts
+		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
+		rebuild(bm, next, cfg.Workers, &st, &rec)
 		st.Sweeps++
 		cur := bm.MDL()
+		rec.MDL = cur
+		rec.Proposals = st.Proposals - p0
+		rec.Accepts = st.Accepts - a0
+		rec.finish()
+		st.PerSweep = append(st.PerSweep, rec)
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur
@@ -37,30 +80,28 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	return st
 }
 
-// asyncPass runs one asynchronous Gibbs pass over the given vertex set
-// (nil = all vertices). Proposals read bm (stale, frozen during the
-// pass); accepted moves write next[v]. Each worker owns a contiguous
-// chunk, so all writes are disjoint and the pass is race-free.
+// asyncPass runs one asynchronous Gibbs pass over the plan's vertex
+// set. Proposals read bm (stale, frozen during the pass); accepted
+// moves write next[v]. Each worker owns a contiguous index range, so
+// all writes are disjoint and the pass is race-free.
 //
 // next must already hold the membership the pass should start from
 // (the caller copies bm.Assignment or carries the vector forward).
-func asyncPass(bm *blockmodel.Blockmodel, vertices []int32, next []int32, cfg Config, workers int, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats) {
+// Per-worker busy times accumulate into rec.WorkerNS, which must be at
+// least len(plan.ranges) long.
+func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Config, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats, rec *SweepRecord) {
 	copy(next, bm.Assignment)
-	n := len(next)
-	if vertices != nil {
-		n = len(vertices)
-	}
 	var proposals, accepts atomic.Int64
-	workTimes := make([]float64, workers)
-	parallel.ForChunked(n, workers, func(lo, hi, w int) {
+	workTimes := make([]float64, len(plan.ranges))
+	parallel.ForRanges(plan.ranges, func(lo, hi, w int) {
 		start := time.Now()
 		rw := workerRNGs[w]
 		sc := scratches[w]
 		var localProp, localAcc int64
 		for i := lo; i < hi; i++ {
 			v := i
-			if vertices != nil {
-				v = int(vertices[i])
+			if plan.vertices != nil {
+				v = int(plan.vertices[i])
 			}
 			s := bm.ProposeVertexMove(v, bm.Assignment, rw)
 			r := bm.Assignment[v]
@@ -85,8 +126,9 @@ func asyncPass(bm *blockmodel.Blockmodel, vertices []int32, next []int32, cfg Co
 	st.Proposals += proposals.Load()
 	st.Accepts += accepts.Load()
 	var total float64
-	for _, t := range workTimes {
+	for w, t := range workTimes {
 		total += t
+		rec.WorkerNS[w] += t
 	}
 	st.Cost.AddParallel(total)
 }
@@ -95,10 +137,12 @@ func asyncPass(bm *blockmodel.Blockmodel, vertices []int32, next []int32, cfg Co
 // parallel and charges the work to the parallel account (the paper notes
 // the rebuild overhead "can be reduced by performing the reconstruction
 // of B in parallel").
-func rebuild(bm *blockmodel.Blockmodel, next []int32, workers int, st *Stats) {
+func rebuild(bm *blockmodel.Blockmodel, next []int32, workers int, st *Stats, rec *SweepRecord) {
 	start := time.Now()
 	bm.RebuildFrom(next, workers)
-	st.Cost.AddParallel(float64(time.Since(start).Nanoseconds()))
+	ns := float64(time.Since(start).Nanoseconds())
+	rec.RebuildNS += ns
+	st.Cost.AddParallel(ns)
 }
 
 // splitRNGs derives one independent stream per worker from the master.

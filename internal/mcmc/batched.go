@@ -46,14 +46,29 @@ func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		groups = append(groups, group)
 	}
 
+	// One partition plan per batch; each sweep reuses all of them.
+	plans := make([]passPlan, len(groups))
+	for i, group := range groups {
+		plans[i] = newPassPlan(bm, group, workers, cfg.Partition)
+	}
+
 	next := make([]int32, n)
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-		for _, group := range groups {
-			asyncPass(bm, group, next, cfg, workers, workerRNGs, scratches, &st)
-			rebuild(bm, next, cfg.Workers, &st)
+		// Batches may partition into fewer ranges than workers; size the
+		// record for the widest batch so worker ids index it directly.
+		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, workers)}
+		p0, a0 := st.Proposals, st.Accepts
+		for _, plan := range plans {
+			asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
+			rebuild(bm, next, cfg.Workers, &st, &rec)
 		}
 		st.Sweeps++
 		cur := bm.MDL()
+		rec.MDL = cur
+		rec.Proposals = st.Proposals - p0
+		rec.Accepts = st.Accepts - a0
+		rec.finish()
+		st.PerSweep = append(st.PerSweep, rec)
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur

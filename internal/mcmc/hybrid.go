@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/blockmodel"
@@ -25,22 +26,32 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 
 	vStar, vMinus := SplitByDegree(bm, cfg.HybridFraction)
 	next := make([]int32, len(bm.Assignment))
+	plan := newPassPlan(bm, vMinus, workers, cfg.Partition)
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, len(plan.ranges))}
+		p0, a0 := st.Proposals, st.Accepts
+
 		// Synchronous pass over V*: identical to the serial engine's
 		// inner loop, charged as serial work.
 		start := time.Now()
 		for _, v := range vStar {
 			serialStep(bm, int(v), cfg, rn, serialScratch, &st)
 		}
-		st.Cost.AddSerial(float64(time.Since(start).Nanoseconds()))
+		rec.SerialNS = float64(time.Since(start).Nanoseconds())
+		st.Cost.AddSerial(rec.SerialNS)
 
 		// Asynchronous pass over V⁻ against the post-V* blockmodel.
-		asyncPass(bm, vMinus, next, cfg, workers, workerRNGs, scratches, &st)
-		rebuild(bm, next, cfg.Workers, &st)
+		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
+		rebuild(bm, next, cfg.Workers, &st, &rec)
 
 		st.Sweeps++
 		cur := bm.MDL()
+		rec.MDL = cur
+		rec.Proposals = st.Proposals - p0
+		rec.Accepts = st.Accepts - a0
+		rec.finish()
+		st.PerSweep = append(st.PerSweep, rec)
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur
@@ -57,7 +68,7 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 // V*-selection ablation.
 func SplitByDegree(bm *blockmodel.Blockmodel, fraction float64) (vStar, vMinus []int32) {
 	order := bm.G.VerticesByDegreeDesc()
-	k := int(fraction * float64(len(order)))
+	k := int(math.Ceil(fraction * float64(len(order))))
 	if fraction > 0 && k == 0 {
 		k = 1
 	}

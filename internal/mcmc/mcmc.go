@@ -49,6 +49,36 @@ const (
 // Config.Batches is unset.
 const DefaultBatches = 4
 
+// Partition selects how the asynchronous passes distribute vertices
+// over workers.
+type Partition int
+
+const (
+	// PartitionDegree (the default) splits the vertex set into
+	// contiguous ranges of approximately equal total degree, so that on
+	// power-law graphs every worker does about the same amount of
+	// proposal work. Same race-freedom guarantee as static chunking:
+	// each worker owns one contiguous range.
+	PartitionDegree Partition = iota
+	// PartitionStatic splits the vertex set into ranges of equal vertex
+	// count (the pre-balancing behaviour); on skewed degree
+	// distributions the worker that draws the high-degree head becomes
+	// the pass's critical path.
+	PartitionStatic
+)
+
+// String names the partition strategy.
+func (p Partition) String() string {
+	switch p {
+	case PartitionDegree:
+		return "degree"
+	case PartitionStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string {
 	switch a {
@@ -97,6 +127,12 @@ type Config struct {
 	// BatchedGibbs engine (<= 0 selects DefaultBatches). Ignored by the
 	// other engines.
 	Batches int
+
+	// Partition selects the work distribution of the asynchronous
+	// passes; the zero value is PartitionDegree. Ignored by SerialMH.
+	// With Workers == 1 both strategies degenerate to a single range,
+	// so the partition choice never affects single-worker results.
+	Partition Partition
 }
 
 // DefaultConfig returns the configuration used in the paper's
@@ -122,6 +158,11 @@ type Stats struct {
 	FinalS    float64 // MDL after the phase
 	Converged bool    // threshold reached before MaxSweeps
 
+	// PerSweep holds one record per executed sweep: the MDL trajectory,
+	// proposal counts, and the per-worker busy times the imbalance
+	// ratio is derived from.
+	PerSweep []SweepRecord
+
 	// Cost is the work/span account of the phase: proposal work in the
 	// serial passes is serial work, proposal work in the asynchronous
 	// passes and the blockmodel rebuilds are parallel work.
@@ -134,6 +175,80 @@ func (s Stats) AcceptanceRate() float64 {
 		return 0
 	}
 	return float64(s.Accepts) / float64(s.Proposals)
+}
+
+// MaxImbalance returns the worst per-sweep worker-imbalance ratio of
+// the phase (1 = perfectly balanced; 0 = no parallel pass ran).
+func (s Stats) MaxImbalance() float64 {
+	var m float64
+	for _, r := range s.PerSweep {
+		if r.Imbalance > m {
+			m = r.Imbalance
+		}
+	}
+	return m
+}
+
+// MeanImbalance averages the imbalance ratio over the sweeps that ran a
+// parallel pass (0 when none did).
+func (s Stats) MeanImbalance() float64 {
+	var sum float64
+	n := 0
+	for _, r := range s.PerSweep {
+		if r.Imbalance > 0 {
+			sum += r.Imbalance
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SweepRecord captures one sweep of an MCMC phase for observability:
+// what the chain did (MDL, proposals, accepts) and where the time went
+// (serial pass, per-worker async pass, rebuild). All durations are
+// nanoseconds of wall-clock busy time.
+type SweepRecord struct {
+	Sweep     int     `json:"sweep"`     // sweep index within the phase
+	MDL       float64 `json:"mdl"`       // description length at sweep end
+	Proposals int64   `json:"proposals"` // proposals evaluated this sweep
+	Accepts   int64   `json:"accepts"`   // proposals accepted this sweep
+
+	SerialNS  float64   `json:"serial_ns,omitempty"`  // serial (V*) pass time
+	WorkerNS  []float64 `json:"worker_ns,omitempty"`  // async-pass busy time per worker
+	RebuildNS float64   `json:"rebuild_ns,omitempty"` // blockmodel rebuild time
+
+	// Imbalance is the load-balance quality of the sweep's parallel
+	// passes: max over mean of the per-worker busy times. 1 means every
+	// worker finished together; 2 means the slowest worker did twice
+	// the mean and the pass wasted half its parallel capacity. 1 when a
+	// single worker ran; 0 when the sweep ran no parallel pass at all
+	// (serial engine).
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// finish derives the imbalance ratio from the recorded worker times.
+func (r *SweepRecord) finish() {
+	var max, sum float64
+	n := 0
+	for _, t := range r.WorkerNS {
+		if t <= 0 {
+			continue
+		}
+		if t > max {
+			max = t
+		}
+		sum += t
+		n++
+	}
+	switch {
+	case n > 1 && sum > 0:
+		r.Imbalance = max * float64(n) / sum
+	case n == 1:
+		r.Imbalance = 1
+	}
 }
 
 // Run executes the MCMC phase of the selected algorithm on bm in place
@@ -177,13 +292,20 @@ func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	n := bm.G.NumVertices()
 	sc := blockmodel.NewScratch()
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		rec := SweepRecord{Sweep: sweep}
+		p0, a0 := st.Proposals, st.Accepts
 		start := time.Now()
 		for v := 0; v < n; v++ {
 			serialStep(bm, v, cfg, rn, sc, &st)
 		}
-		st.Cost.AddSerial(float64(time.Since(start).Nanoseconds()))
+		rec.SerialNS = float64(time.Since(start).Nanoseconds())
+		st.Cost.AddSerial(rec.SerialNS)
 		st.Sweeps++
 		cur := bm.MDL()
+		rec.MDL = cur
+		rec.Proposals = st.Proposals - p0
+		rec.Accepts = st.Accepts - a0
+		st.PerSweep = append(st.PerSweep, rec)
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur

@@ -1,0 +1,164 @@
+package mcmc
+
+import (
+	"testing"
+
+	"repro/internal/blockmodel"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+var allAlgorithms = []Algorithm{SerialMH, AsyncGibbs, Hybrid, BatchedGibbs}
+
+// TestPerSweepRecords checks the observability invariants of every
+// engine: one record per sweep, counts that sum to the phase totals,
+// the final record matching the phase's final MDL, and an imbalance
+// ratio that is present exactly when a parallel pass ran.
+func TestPerSweepRecords(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			bm, _ := structured(t, 21)
+			st := Run(bm, alg, testConfig(), rng.New(5))
+			if len(st.PerSweep) != st.Sweeps {
+				t.Fatalf("%d records for %d sweeps", len(st.PerSweep), st.Sweeps)
+			}
+			var props, accs int64
+			for i, rec := range st.PerSweep {
+				if rec.Sweep != i {
+					t.Fatalf("record %d has sweep index %d", i, rec.Sweep)
+				}
+				props += rec.Proposals
+				accs += rec.Accepts
+				if rec.MDL <= 0 {
+					t.Fatalf("sweep %d: MDL %v not recorded", i, rec.MDL)
+				}
+				switch alg {
+				case SerialMH:
+					if rec.Imbalance != 0 {
+						t.Fatalf("serial engine reported imbalance %v", rec.Imbalance)
+					}
+					if rec.SerialNS <= 0 {
+						t.Fatalf("sweep %d: no serial time", i)
+					}
+				default:
+					// testConfig uses 2 workers on a 120-vertex graph, so
+					// every parallel pass has at least one busy worker.
+					if rec.Imbalance < 1 {
+						t.Fatalf("sweep %d: imbalance %v < 1", i, rec.Imbalance)
+					}
+					if rec.RebuildNS <= 0 {
+						t.Fatalf("sweep %d: no rebuild time", i)
+					}
+				}
+			}
+			if props != st.Proposals || accs != st.Accepts {
+				t.Fatalf("per-sweep counts (%d, %d) != phase totals (%d, %d)",
+					props, accs, st.Proposals, st.Accepts)
+			}
+			last := st.PerSweep[len(st.PerSweep)-1]
+			if last.MDL != st.FinalS {
+				t.Fatalf("last record MDL %v != FinalS %v", last.MDL, st.FinalS)
+			}
+			if st.MaxImbalance() < st.MeanImbalance() {
+				t.Fatalf("max imbalance %v < mean %v", st.MaxImbalance(), st.MeanImbalance())
+			}
+		})
+	}
+}
+
+// TestDeterminismPartitionWorkers1 is the bit-compatibility guarantee of
+// the degree-aware partitioner: with a single worker both strategies
+// collapse to one range over the whole vertex set, so same-seed runs
+// must produce identical assignments and identical chain statistics.
+func TestDeterminismPartitionWorkers1(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(p Partition) ([]int32, int64, float64) {
+				bm, _ := structured(t, 33)
+				cfg := testConfig()
+				cfg.Workers = 1
+				cfg.Partition = p
+				st := Run(bm, alg, cfg, rng.New(6))
+				return append([]int32(nil), bm.Assignment...), st.Proposals, st.FinalS
+			}
+			aAsg, aProps, aMDL := run(PartitionDegree)
+			bAsg, bProps, bMDL := run(PartitionStatic)
+			if aProps != bProps || aMDL != bMDL {
+				t.Fatalf("workers=1 stats differ across partitions: (%d, %v) vs (%d, %v)",
+					aProps, aMDL, bProps, bMDL)
+			}
+			for v := range aAsg {
+				if aAsg[v] != bAsg[v] {
+					t.Fatalf("workers=1 assignment differs at vertex %d: %d vs %d", v, aAsg[v], bAsg[v])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismEnginesSameSeed asserts that for a fixed seed and
+// worker count every engine produces an identical final assignment
+// across two runs — both partition strategies.
+func TestDeterminismEnginesSameSeed(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		for _, p := range []Partition{PartitionDegree, PartitionStatic} {
+			t.Run(alg.String()+"/"+p.String(), func(t *testing.T) {
+				run := func() []int32 {
+					bm, _ := structured(t, 55)
+					cfg := testConfig()
+					cfg.Workers = 3
+					cfg.Partition = p
+					Run(bm, alg, cfg, rng.New(8))
+					return append([]int32(nil), bm.Assignment...)
+				}
+				a, b := run(), run()
+				for v := range a {
+					if a[v] != b[v] {
+						t.Fatalf("assignment differs at vertex %d: %d vs %d", v, a[v], b[v])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSplitByDegreeCeil is the regression test for the V*-split rounding
+// bug: the doc comment and paper specify ceil(fraction·V), but the
+// implementation floored — at V=10, fraction=0.15 it picked 1 vertex
+// instead of 2.
+func TestSplitByDegreeCeil(t *testing.T) {
+	g, err := graph.New(10, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}, {Src: 5, Dst: 6},
+		{Src: 6, Dst: 7}, {Src: 7, Dst: 8}, {Src: 8, Dst: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := blockmodel.Identity(g, 1)
+	cases := []struct {
+		fraction float64
+		want     int
+	}{
+		{0, 0},     // no synchronous pass at all
+		{0.15, 2},  // ceil(1.5) = 2: the reported bug
+		{0.1, 1},   // exact multiple stays put
+		{0.001, 1}, // ceil keeps at least one vertex for any fraction > 0
+		{1, 10},    // everything serial
+		{1.5, 10},  // clamped to V
+	}
+	for _, c := range cases {
+		vStar, vMinus := SplitByDegree(bm, c.fraction)
+		if len(vStar) != c.want {
+			t.Fatalf("fraction=%v: |V*| = %d, want %d", c.fraction, len(vStar), c.want)
+		}
+		if len(vStar)+len(vMinus) != 10 {
+			t.Fatalf("fraction=%v: split loses vertices (%d + %d)", c.fraction, len(vStar), len(vMinus))
+		}
+	}
+	// V* must hold the highest-degree vertices: vertex 0 has degree 4.
+	vStar, _ := SplitByDegree(bm, 0.15)
+	if vStar[0] != 0 {
+		t.Fatalf("V* should start with the max-degree vertex, got %d", vStar[0])
+	}
+}

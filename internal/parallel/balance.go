@@ -1,0 +1,114 @@
+package parallel
+
+import "sort"
+
+// Range is one worker's contiguous slice [Lo, Hi) of an index space.
+// Ranges produced by StaticRanges and BalancedRanges are disjoint and
+// cover [0, n), so per-index writes inside a range need no
+// synchronisation — the same guarantee ForChunked gives.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// StaticRanges splits [0, n) into min(workers, n) contiguous ranges
+// whose sizes differ by at most one — the partition ForChunked uses
+// (OpenMP static schedule).
+func StaticRanges(n, workers int) []Range {
+	workers = clampWorkers(DefaultWorkers(workers), n)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Range, workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		out[w] = Range{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// BalancedRanges splits [0, n) into min(workers, n) contiguous ranges of
+// approximately equal total weight, where weight(i) >= 0 is the cost of
+// index i. It prefix-sums the weights and greedily gives each worker the
+// ceiling of its fair share of the remaining weight, so no worker's load
+// exceeds the ideal by more than one index's weight. On power-law cost
+// distributions (vertex degrees) this removes the skew a count-based
+// split suffers when heavy indices cluster in one chunk.
+//
+// Every range holds at least one index (workers is clamped to n), so a
+// single index whose weight dwarfs the rest gets a range of its own and
+// the remaining indices spread over the other workers. When the total
+// weight is zero the split degenerates to StaticRanges.
+func BalancedRanges(n, workers int, weight func(i int) int64) []Range {
+	workers = clampWorkers(DefaultWorkers(workers), n)
+	if n <= 0 {
+		return nil
+	}
+	if workers == 1 {
+		return []Range{{0, n}}
+	}
+	prefix := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if w < 0 {
+			w = 0
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	total := prefix[n]
+	if total == 0 {
+		return StaticRanges(n, workers)
+	}
+	out := make([]Range, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		if w == workers-1 {
+			out[w] = Range{lo, n}
+			break
+		}
+		remaining := total - prefix[lo]
+		left := int64(workers - w)
+		target := prefix[lo] + (remaining+left-1)/left // ceil of the fair share
+		// Smallest k such that [lo, lo+k+1) reaches the target weight;
+		// k < n-lo always holds because target <= prefix[n].
+		k := sort.Search(n-lo, func(k int) bool { return prefix[lo+k+1] >= target })
+		hi := lo + k + 1
+		// Leave at least one index per remaining worker when possible, so
+		// uniform weights reduce to the static split.
+		if max := n - (workers - 1 - w); hi > max {
+			hi = max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		out[w] = Range{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// ForRanges runs body(lo, hi, w) for every range, one goroutine per
+// range, with the same inline fast path and panic propagation as
+// ForChunked. Range index w is the worker id: callers that hold
+// per-worker state (RNG streams, scratch buffers) index it by w.
+func ForRanges(ranges []Range, body func(lo, hi, worker int)) {
+	switch len(ranges) {
+	case 0:
+		return
+	case 1:
+		body(ranges[0].Lo, ranges[0].Hi, 0)
+		return
+	}
+	forWorkers(len(ranges), func(w int) {
+		body(ranges[w].Lo, ranges[w].Hi, w)
+	})
+}

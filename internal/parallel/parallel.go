@@ -33,14 +33,24 @@ func For(n, workers int, body func(i int)) {
 	})
 }
 
+// clampWorkers caps the worker count at the iteration count so that no
+// idle goroutines are spawned for small inputs, and never returns less
+// than one.
+func clampWorkers(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // ForChunked runs body(lo, hi, worker) for each worker's contiguous range
 // [lo, hi) of [0, n). Ranges differ in size by at most one. If workers is 1
 // or n is small, the body runs on the calling goroutine to avoid overhead.
 func ForChunked(n, workers int, body func(lo, hi, worker int)) {
-	workers = DefaultWorkers(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = clampWorkers(DefaultWorkers(workers), n)
 	if n <= 0 {
 		return
 	}
@@ -48,27 +58,39 @@ func ForChunked(n, workers int, body func(lo, hi, worker int)) {
 		body(0, n, 0)
 		return
 	}
-	var wg sync.WaitGroup
-	var panicVal atomic.Value
 	chunk := n / workers
 	rem := n % workers
-	lo := 0
-	for w := 0; w < workers; w++ {
+	forWorkers(workers, func(w int) {
+		lo := w * chunk
+		if w < rem {
+			lo += w
+		} else {
+			lo += rem
+		}
 		hi := lo + chunk
 		if w < rem {
 			hi++
 		}
+		body(lo, hi, w)
+	})
+}
+
+// forWorkers runs body(w) for w in [0, workers) on one goroutine each,
+// propagating the first panic to the caller.
+func forWorkers(workers int, body func(w int)) {
+	var wg sync.WaitGroup
+	var panicVal atomic.Value
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(lo, hi, w int) {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
 					panicVal.Store(p)
 				}
 			}()
-			body(lo, hi, w)
-		}(lo, hi, w)
-		lo = hi
+			body(w)
+		}(w)
 	}
 	wg.Wait()
 	if p := panicVal.Load(); p != nil {
@@ -81,7 +103,7 @@ func ForChunked(n, workers int, body func(lo, hi, worker int)) {
 // counter. Use when per-iteration cost is highly skewed (e.g. power-law
 // vertex degrees).
 func ForDynamic(n, workers, grain int, body func(i int)) {
-	workers = DefaultWorkers(workers)
+	workers = clampWorkers(DefaultWorkers(workers), n)
 	if grain < 1 {
 		grain = 1
 	}
@@ -131,10 +153,7 @@ func ForDynamic(n, workers, grain int, body func(i int)) {
 // Each worker accumulates locally; partial sums are combined at the end,
 // so the result is deterministic for a fixed worker count.
 func ReduceFloat64(n, workers int, body func(i int) float64) float64 {
-	workers = DefaultWorkers(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = clampWorkers(DefaultWorkers(workers), n)
 	if n <= 0 {
 		return 0
 	}

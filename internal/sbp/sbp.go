@@ -93,6 +93,14 @@ type Result struct {
 	// counts (Figs 4b, 6, 7).
 	MCMCCost  parallel.CostModel
 	MergeCost parallel.CostModel
+
+	// Load-balance observability, aggregated from the per-sweep records
+	// of every MCMC phase (see mcmc.SweepRecord). MaxImbalance is the
+	// worst per-sweep max/mean worker-time ratio seen during the run;
+	// MeanImbalance averages over all sweeps that ran a parallel pass.
+	// Both are 0 when no parallel pass ran (serial engine).
+	MaxImbalance  float64
+	MeanImbalance float64
 }
 
 // bracketEntry is one endpoint of the golden-section search: a blockmodel
@@ -110,12 +118,22 @@ type bracket struct {
 	hi, mid, lo *bracketEntry
 }
 
-// insert places a new state into the bracket, keeping the invariant that
-// mid has the lowest MDL.
+// insert places a new state into the bracket, keeping the invariants
+// that mid has the lowest MDL and that hi.c > mid.c > lo.c strictly.
+// MCMC compaction can land on an already-probed community count; such
+// duplicates are merged (the better MDL wins) rather than demoted to an
+// endpoint, where a duplicate of mid's count would freeze the bracket
+// width and burn iterations until the maxIter cap.
 func (b *bracket) insert(e *bracketEntry) {
 	switch {
 	case b.mid == nil:
 		b.mid = e
+	case e.c == b.mid.c:
+		// Duplicate of mid's count: keep the better state, never an
+		// endpoint.
+		if e.mdl < b.mid.mdl {
+			b.mid = e
+		}
 	case e.mdl < b.mid.mdl:
 		if e.c > b.mid.c {
 			b.lo = b.mid
@@ -123,12 +141,26 @@ func (b *bracket) insert(e *bracketEntry) {
 			b.hi = b.mid
 		}
 		b.mid = e
-	default:
-		if e.c > b.mid.c {
+	case e.c > b.mid.c:
+		// Worse state above mid: tighten hi, but never loosen it, and
+		// merge a duplicate count by MDL.
+		if b.hi == nil || e.c < b.hi.c || (e.c == b.hi.c && e.mdl < b.hi.mdl) {
 			b.hi = e
-		} else {
+		}
+	default:
+		// Worse state below mid: tighten lo symmetrically.
+		if b.lo == nil || e.c > b.lo.c || (e.c == b.lo.c && e.mdl < b.lo.mdl) {
 			b.lo = e
 		}
+	}
+	// When mid moved onto an endpoint's community count the endpoint no
+	// longer bounds anything strictly outside mid; drop it so done() and
+	// nextTarget see the true remaining interval.
+	if b.hi != nil && b.hi.c <= b.mid.c {
+		b.hi = nil
+	}
+	if b.lo != nil && b.lo.c >= b.mid.c {
+		b.lo = nil
 	}
 }
 
@@ -160,6 +192,8 @@ func Run(g *graph.Graph, opts Options) *Result {
 	res := &Result{}
 
 	cur := blockmodel.Identity(g, opts.MCMC.Workers)
+	var imbSum float64
+	var imbSweeps int
 	br := &bracket{}
 	br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
 
@@ -204,10 +238,22 @@ func Run(g *graph.Graph, opts Options) *Result {
 		res.MergeTime += mergeTime
 		res.MCMCCost.Merge(cs.Cost)
 		res.MergeCost.Merge(ms.Cost)
+		if m := cs.MaxImbalance(); m > res.MaxImbalance {
+			res.MaxImbalance = m
+		}
+		for _, rec := range cs.PerSweep {
+			if rec.Imbalance > 0 {
+				imbSum += rec.Imbalance
+				imbSweeps++
+			}
+		}
 
 		br.insert(&bracketEntry{bm: work, mdl: mdl, c: work.NumNonEmptyBlocks()})
 	}
 
+	if imbSweeps > 0 {
+		res.MeanImbalance = imbSum / float64(imbSweeps)
+	}
 	best := br.mid
 	res.Best = best.bm
 	res.MDL = best.mdl

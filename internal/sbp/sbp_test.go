@@ -1,6 +1,7 @@
 package sbp
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/gen"
@@ -203,5 +204,111 @@ func TestBits64(t *testing.T) {
 		if got := bits64(x); got != want {
 			t.Fatalf("bits64(%d) = %d, want %d", x, got, want)
 		}
+	}
+}
+
+// checkBracketInvariant asserts the strict ordering hi.c > mid.c > lo.c
+// that done() and nextTarget rely on.
+func checkBracketInvariant(t *testing.T, br *bracket, ctx string) {
+	t.Helper()
+	if br.mid == nil {
+		return
+	}
+	if br.hi != nil && br.hi.c <= br.mid.c {
+		t.Fatalf("%s: hi.c=%d <= mid.c=%d", ctx, br.hi.c, br.mid.c)
+	}
+	if br.lo != nil && br.lo.c >= br.mid.c {
+		t.Fatalf("%s: lo.c=%d >= mid.c=%d", ctx, br.lo.c, br.mid.c)
+	}
+}
+
+// TestBracketDuplicateMidCount is the regression test for the bracket
+// freeze: MCMC compaction landing on mid's community count must merge
+// into mid, not demote to an endpoint where it pins upperC()-lo.c.
+func TestBracketDuplicateMidCount(t *testing.T) {
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 64})
+	br.insert(&bracketEntry{mdl: 90, c: 32})
+	br.insert(&bracketEntry{mdl: 95, c: 16})
+	checkBracketInvariant(t, br, "setup")
+
+	// Worse duplicate of mid's count: before the fix this overwrote lo
+	// (c=16) with a c=32 entry, freezing the lower interval at width 0.
+	br.insert(&bracketEntry{mdl: 93, c: 32})
+	checkBracketInvariant(t, br, "worse duplicate")
+	if br.mid.mdl != 90 {
+		t.Fatalf("worse duplicate replaced mid: mdl=%v", br.mid.mdl)
+	}
+	if br.lo == nil || br.lo.c != 16 {
+		t.Fatalf("duplicate of mid's count clobbered lo: %+v", br.lo)
+	}
+
+	// Better duplicate: replaces mid in place, endpoints untouched.
+	br.insert(&bracketEntry{mdl: 85, c: 32})
+	checkBracketInvariant(t, br, "better duplicate")
+	if br.mid.mdl != 85 || br.mid.c != 32 {
+		t.Fatalf("better duplicate should become mid: %+v", br.mid)
+	}
+	if br.hi == nil || br.hi.c != 64 || br.lo == nil || br.lo.c != 16 {
+		t.Fatalf("endpoints moved: hi=%+v lo=%+v", br.hi, br.lo)
+	}
+}
+
+// TestBracketEndpointDuplicatesMerge checks that repeated worse probes
+// at the same endpoint count tighten rather than loosen the bracket.
+func TestBracketEndpointDuplicatesMerge(t *testing.T) {
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: 100, c: 64})
+	br.insert(&bracketEntry{mdl: 90, c: 32})
+	br.insert(&bracketEntry{mdl: 95, c: 16})
+	br.insert(&bracketEntry{mdl: 97, c: 48}) // tightens hi from 64 to 48
+	checkBracketInvariant(t, br, "tighten hi")
+	if br.hi.c != 48 {
+		t.Fatalf("hi not tightened: %+v", br.hi)
+	}
+	br.insert(&bracketEntry{mdl: 96, c: 56}) // looser than current hi: ignored
+	if br.hi.c != 48 {
+		t.Fatalf("hi loosened by stale probe: %+v", br.hi)
+	}
+	br.insert(&bracketEntry{mdl: 94, c: 48}) // same count, better mdl: merged
+	if br.hi.c != 48 || br.hi.mdl != 94 {
+		t.Fatalf("hi duplicate not merged by MDL: %+v", br.hi)
+	}
+	br.insert(&bracketEntry{mdl: 93, c: 20}) // tightens lo from 16 to 20
+	checkBracketInvariant(t, br, "tighten lo")
+	if br.lo.c != 20 {
+		t.Fatalf("lo not tightened: %+v", br.lo)
+	}
+}
+
+// TestBracketSearchTerminatesOnDuplicateCounts simulates the full
+// golden-section loop against an MDL landscape where every other MCMC
+// phase "compacts" onto mid's already-probed count. Before the fix the
+// duplicate clobbered lo, the search never probed below mid, and the
+// loop burned iterations without converging on the optimum.
+func TestBracketSearchTerminatesOnDuplicateCounts(t *testing.T) {
+	opts := DefaultOptions(mcmc.SerialMH)
+	f := func(c int) float64 { return 50 + 5*math.Abs(float64(c)-10) } // optimum at c=10
+	br := &bracket{}
+	br.insert(&bracketEntry{mdl: f(64), c: 64})
+	maxIter := 16 + 4*bits64(64+1)
+	iter := 0
+	for ; !br.done() && iter < maxIter; iter++ {
+		from, target := nextTarget(br, opts)
+		if from == nil || target < 1 || target >= from.c {
+			break
+		}
+		c := target
+		if iter%2 == 1 {
+			c = br.mid.c // compaction collides with an already-probed count
+		}
+		br.insert(&bracketEntry{mdl: f(c), c: c})
+		checkBracketInvariant(t, br, "during search")
+	}
+	if iter >= maxIter {
+		t.Fatalf("bracket search burned all %d iterations", maxIter)
+	}
+	if br.mid.c < 8 || br.mid.c > 12 {
+		t.Fatalf("search stopped at c=%d, optimum is 10", br.mid.c)
 	}
 }
