@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/metrics"
@@ -55,6 +56,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-iteration progress")
 		vv        = flag.Bool("vv", false, "print a per-sweep table for every iteration (implies -v)")
 		partition = flag.String("partition", "degree", "async work partition: degree (balance total degree) or static (equal vertex counts)")
+		verify    = flag.Bool("verify", false, "cross-check every incremental ΔMDL/Hastings value and all blockmodel invariants against the dense oracle (orders of magnitude slower; small graphs only)")
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
@@ -101,6 +103,20 @@ func main() {
 		log.Fatalf("loading %s: %v", *graphPath, err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if *verify {
+		// Verification failures panic with a *check.Failure deep inside a
+		// run; turn that into a clean fatal diagnostic, as it indicates an
+		// engine bug rather than a crash in sbp itself.
+		defer func() {
+			if p := recover(); p != nil {
+				if f := check.AsFailure(p); f != nil {
+					log.Fatalf("VERIFICATION FAILED: %v", f)
+				}
+				panic(p)
+			}
+		}()
+		log.Printf("oracle verification enabled: every ΔMDL and Hastings value is cross-checked")
+	}
 
 	var best *sbp.Result
 	start := time.Now()
@@ -111,6 +127,7 @@ func main() {
 		opts.Merge.Workers = *workers
 		opts.MCMC.HybridFraction = *fraction
 		opts.MCMC.Partition = part
+		opts.Verify = *verify
 		opts.Progress = func(it sbp.IterationStats) {
 			evIterations.Add(1)
 			evSweeps.Add(int64(it.MCMC.Sweeps))

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blockmodel"
+)
+
+// Tol is the verification tolerance: floating-point quantities diverge
+// when |got − want| > Tol·max(1, |want|). Integer counts must match
+// exactly.
+const Tol = 1e-9
+
+// withinTol reports whether got matches want to verification tolerance.
+func withinTol(got, want float64) bool {
+	return math.Abs(got-want) <= Tol*math.Max(1, math.Abs(want))
+}
+
+// Invariants validates a live Blockmodel against a dense rebuild from
+// its own membership and reports the first inconsistency found, or nil:
+//
+//   - assignment entries in range and Sizes consistent with them;
+//   - every block-matrix entry equal to the membership-derived count
+//     (checked densely in row-major order, so the reported divergence is
+//     the first one);
+//   - row/column sums of the sparse matrix equal to DOut/DIn — this
+//     exercises both the row and the transposed column index of
+//     sparse.Matrix, which can drift independently;
+//   - DTot = DOut + DIn, matrix total = E;
+//   - the sparse-matrix MDL equal to the dense recomputation within Tol.
+//
+// Cost is O(V + E + C²); intended for verification runs on small graphs
+// and for tests.
+func Invariants(bm *blockmodel.Blockmodel) error {
+	o, err := NewOracle(bm.G, bm.Assignment, bm.C)
+	if err != nil {
+		return err
+	}
+	c := bm.C
+	if len(bm.DOut) != c || len(bm.DIn) != c || len(bm.DTot) != c || len(bm.Sizes) != c {
+		return fmt.Errorf("check: degree/size vectors sized %d/%d/%d/%d, want C=%d",
+			len(bm.DOut), len(bm.DIn), len(bm.DTot), len(bm.Sizes), c)
+	}
+	if got := bm.M.NumBlocks(); got != c {
+		return fmt.Errorf("check: block matrix is %d×%d, want C=%d", got, got, c)
+	}
+	for r := 0; r < c; r++ {
+		for s := 0; s < c; s++ {
+			got, want := bm.M.Get(r, s), o.At(r, s)
+			if got != want {
+				return fmt.Errorf("check: first divergent block count M[%d][%d] = %d, want %d (recomputed from membership; diff %+d)",
+					r, s, got, want, got-want)
+			}
+		}
+	}
+	for r := 0; r < c; r++ {
+		if got, want := bm.M.RowSum(r), o.DegOut(r); got != want {
+			return fmt.Errorf("check: row sum M[%d][·] = %d, want DOut %d", r, got, want)
+		}
+		if got, want := bm.M.ColSum(r), o.DegIn(r); got != want {
+			return fmt.Errorf("check: column sum M[·][%d] = %d, want DIn %d (transposed index drift)", r, got, want)
+		}
+		if bm.DOut[r] != o.DegOut(r) {
+			return fmt.Errorf("check: DOut[%d] = %d, want %d", r, bm.DOut[r], o.DegOut(r))
+		}
+		if bm.DIn[r] != o.DegIn(r) {
+			return fmt.Errorf("check: DIn[%d] = %d, want %d", r, bm.DIn[r], o.DegIn(r))
+		}
+		if bm.DTot[r] != bm.DOut[r]+bm.DIn[r] {
+			return fmt.Errorf("check: DTot[%d] = %d, want DOut+DIn = %d", r, bm.DTot[r], bm.DOut[r]+bm.DIn[r])
+		}
+		if bm.Sizes[r] != o.Size(r) {
+			return fmt.Errorf("check: Sizes[%d] = %d, want %d", r, bm.Sizes[r], o.Size(r))
+		}
+	}
+	if got, want := bm.M.Total(), int64(bm.G.NumEdges()); got != want {
+		return fmt.Errorf("check: matrix total %d, want edge count %d", got, want)
+	}
+	if got, want := bm.MDL(), o.MDL(); !withinTol(got, want) {
+		return fmt.Errorf("check: incremental-state MDL %.12g, dense recomputation %.12g (diff %.3g exceeds tolerance %g)",
+			got, want, got-want, Tol)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/blockmodel"
+)
+
+// Failure is the panic value of the Must* verification hooks: an
+// incremental quantity diverged from the dense oracle, or a blockmodel
+// invariant broke. Engines running with Config.Verify fail fast by
+// panicking with a *Failure whose message names the first divergent
+// quantity; tests recover it with AsFailure.
+type Failure struct {
+	// Stage names the verification point that tripped, e.g. "move-delta"
+	// or "post-sweep invariants".
+	Stage string
+	// Err is the underlying divergence description.
+	Err error
+}
+
+// Error formats the failure with its stage.
+func (f *Failure) Error() string { return fmt.Sprintf("check: %s: %v", f.Stage, f.Err) }
+
+// Unwrap exposes the underlying divergence for errors.Is/As.
+func (f *Failure) Unwrap() error { return f.Err }
+
+// AsFailure returns the *Failure inside a recovered panic value, or nil
+// if the panic did not originate from a verification hook.
+func AsFailure(recovered any) *Failure {
+	f, _ := recovered.(*Failure)
+	return f
+}
+
+// failf panics with a *Failure for the given stage.
+func failf(stage string, err error) {
+	panic(&Failure{Stage: stage, Err: err})
+}
+
+// CheckMoveDelta compares an incrementally computed likelihood ΔS for
+// moving vertex v to block s (evaluated under membership b, which must be
+// the membership bm's counts were built from) against the dense oracle's
+// apply-and-recompute value. Returns a descriptive error on divergence.
+func CheckMoveDelta(bm *blockmodel.Blockmodel, b []int32, v int, s int32, got float64) error {
+	o, err := NewOracle(bm.G, b, bm.C)
+	if err != nil {
+		return err
+	}
+	want := o.MoveDelta(v, s)
+	if !withinTol(got, want) {
+		return fmt.Errorf("ΔS for move v=%d: %d→%d is %.12g incrementally, %.12g by apply-and-recompute (diff %.3g exceeds %g)",
+			v, b[v], s, got, want, got-want, Tol)
+	}
+	return nil
+}
+
+// CheckHastings compares an incrementally computed Hastings correction
+// for moving vertex v to block s against the oracle's direct evaluation
+// of the proposal distribution on rebuilt states.
+func CheckHastings(bm *blockmodel.Blockmodel, b []int32, v int, s int32, got float64) error {
+	o, err := NewOracle(bm.G, b, bm.C)
+	if err != nil {
+		return err
+	}
+	want := o.Hastings(v, s)
+	if !withinTol(got, want) {
+		return fmt.Errorf("Hastings correction for move v=%d: %d→%d is %.12g incrementally, %.12g by direct evaluation (diff %.3g exceeds %g)",
+			v, b[v], s, got, want, got-want, Tol)
+	}
+	return nil
+}
+
+// CheckMergeDelta compares an incrementally computed likelihood ΔS for
+// merging block r into block s against the dense oracle.
+func CheckMergeDelta(bm *blockmodel.Blockmodel, r, s int32, got float64) error {
+	o, err := NewOracle(bm.G, bm.Assignment, bm.C)
+	if err != nil {
+		return err
+	}
+	want := o.MergeDelta(r, s)
+	if !withinTol(got, want) {
+		return fmt.Errorf("ΔS for merge %d→%d is %.12g incrementally, %.12g by apply-and-recompute (diff %.3g exceeds %g)",
+			r, s, got, want, got-want, Tol)
+	}
+	return nil
+}
+
+// MustMoveDelta is CheckMoveDelta, panicking with *Failure on divergence.
+func MustMoveDelta(bm *blockmodel.Blockmodel, b []int32, v int, s int32, got float64) {
+	if err := CheckMoveDelta(bm, b, v, s, got); err != nil {
+		failf("move-delta", err)
+	}
+}
+
+// MustHastings is CheckHastings, panicking with *Failure on divergence.
+func MustHastings(bm *blockmodel.Blockmodel, b []int32, v int, s int32, got float64) {
+	if err := CheckHastings(bm, b, v, s, got); err != nil {
+		failf("hastings", err)
+	}
+}
+
+// MustMergeDelta is CheckMergeDelta, panicking with *Failure on
+// divergence.
+func MustMergeDelta(bm *blockmodel.Blockmodel, r, s int32, got float64) {
+	if err := CheckMergeDelta(bm, r, s, got); err != nil {
+		failf("merge-delta", err)
+	}
+}
+
+// MustInvariants runs Invariants, panicking with *Failure naming the
+// given stage on the first violation.
+func MustInvariants(bm *blockmodel.Blockmodel, stage string) {
+	if err := Invariants(bm); err != nil {
+		failf(stage, err)
+	}
+}

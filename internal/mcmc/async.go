@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -63,6 +64,9 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
 		rebuild(bm, next, cfg.Workers, &st, &rec)
 		st.Sweeps++
+		if cfg.Verify {
+			check.MustInvariants(bm, "async post-sweep invariants")
+		}
 		cur := bm.MDL()
 		rec.MDL = cur
 		rec.Proposals = st.Proposals - p0
@@ -110,10 +114,20 @@ func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Confi
 			}
 			localProp++
 			md := bm.EvalMove(v, s, bm.Assignment, sc)
+			if cfg.Verify {
+				// The pass evaluates against the frozen pre-pass state, so
+				// the oracle is built from the same membership the counts
+				// derive from. The panic on divergence propagates out of
+				// the worker pool to the caller.
+				check.MustMoveDelta(bm, bm.Assignment, v, s, md.DeltaS)
+			}
 			if md.EmptiesSrc && !cfg.AllowEmptyBlocks {
 				continue
 			}
 			h := bm.HastingsCorrection(&md)
+			if cfg.Verify {
+				check.MustHastings(bm, bm.Assignment, v, s, h)
+			}
 			if accept(&md, h, cfg.Beta, rw) {
 				next[v] = s
 				localAcc++

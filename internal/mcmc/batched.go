@@ -2,6 +2,7 @@ package mcmc
 
 import (
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -61,6 +62,11 @@ func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		for _, plan := range plans {
 			asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
 			rebuild(bm, next, cfg.Workers, &st, &rec)
+			if cfg.Verify {
+				// Per-batch, not just per-sweep: a corrupted mid-sweep
+				// rebuild is caught before the next batch consumes it.
+				check.MustInvariants(bm, "batched post-rebuild invariants")
+			}
 		}
 		st.Sweeps++
 		cur := bm.MDL()

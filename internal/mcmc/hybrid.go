@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -46,6 +47,9 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		rebuild(bm, next, cfg.Workers, &st, &rec)
 
 		st.Sweeps++
+		if cfg.Verify {
+			check.MustInvariants(bm, "hybrid post-sweep invariants")
+		}
 		cur := bm.MDL()
 		rec.MDL = cur
 		rec.Proposals = st.Proposals - p0

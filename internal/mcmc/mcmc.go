@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -133,6 +134,17 @@ type Config struct {
 	// With Workers == 1 both strategies degenerate to a single range,
 	// so the partition choice never affects single-worker results.
 	Partition Partition
+
+	// Verify enables oracle cross-checking (internal/check): every
+	// evaluated proposal's incremental ΔS and Hastings correction are
+	// compared against a dense apply-and-recompute reference, and the
+	// blockmodel's invariants (matrix vs membership, row/column sums vs
+	// block degrees, MDL vs dense recomputation) are revalidated after
+	// every sweep and every mid-sweep rebuild. The first divergence
+	// fails fast with a panic carrying a *check.Failure that names the
+	// divergent quantity. Verification costs O(V + E + C²) per proposal
+	// — use it on small graphs only.
+	Verify bool
 }
 
 // DefaultConfig returns the configuration used in the paper's
@@ -301,6 +313,9 @@ func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		rec.SerialNS = float64(time.Since(start).Nanoseconds())
 		st.Cost.AddSerial(rec.SerialNS)
 		st.Sweeps++
+		if cfg.Verify {
+			check.MustInvariants(bm, "serial post-sweep invariants")
+		}
 		cur := bm.MDL()
 		rec.MDL = cur
 		rec.Proposals = st.Proposals - p0
@@ -328,10 +343,16 @@ func serialStep(bm *blockmodel.Blockmodel, v int, cfg Config, rn *rng.RNG, sc *b
 	}
 	st.Proposals++
 	md := bm.EvalMove(v, s, bm.Assignment, sc)
+	if cfg.Verify {
+		check.MustMoveDelta(bm, bm.Assignment, v, s, md.DeltaS)
+	}
 	if md.EmptiesSrc && !cfg.AllowEmptyBlocks {
 		return
 	}
 	h := bm.HastingsCorrection(&md)
+	if cfg.Verify {
+		check.MustHastings(bm, bm.Assignment, v, s, h)
+	}
 	if accept(&md, h, cfg.Beta, rn) {
 		bm.ApplyMove(md)
 		st.Accepts++

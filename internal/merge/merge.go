@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -27,6 +28,12 @@ type Config struct {
 
 	// Workers is the parallel width (<= 0 means GOMAXPROCS).
 	Workers int
+
+	// Verify cross-checks every evaluated merge ΔS against the dense
+	// oracle (internal/check) and revalidates blockmodel invariants
+	// after the rebuild/compact, panicking with a *check.Failure on the
+	// first divergence. O(C² + E) per proposal — small graphs only.
+	Verify bool
 }
 
 // DefaultConfig returns the merge configuration used by the reference
@@ -83,6 +90,9 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 				s := bm.ProposeMerge(int32(r), rw)
 				local++
 				d := bm.EvalMerge(int32(r), s, sc)
+				if cfg.Verify {
+					check.MustMergeDelta(bm, int32(r), s, d)
+				}
 				if !c.valid || d < c.delta {
 					c.to, c.delta, c.valid = s, d, true
 				}
@@ -142,6 +152,9 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 	bm.RebuildFrom(membership, cfg.Workers)
 	bm.Compact(cfg.Workers)
 	st.Cost.AddParallel(float64(time.Since(rebuildStart).Nanoseconds()))
+	if cfg.Verify {
+		check.MustInvariants(bm, "merge post-phase invariants")
+	}
 	return st
 }
 

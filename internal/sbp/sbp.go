@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/merge"
@@ -42,6 +43,16 @@ type Options struct {
 
 	// Seed seeds the deterministic RNG tree for the whole run.
 	Seed uint64
+
+	// Verify runs the whole search in oracle-verified mode: it enables
+	// MCMC.Verify and Merge.Verify (every incremental ΔS and Hastings
+	// correction is cross-checked against the dense reference in
+	// internal/check) and revalidates blockmodel invariants after every
+	// merge phase, MCMC phase and compaction. The first divergence
+	// panics with a *check.Failure naming the divergent quantity.
+	// Verification is orders of magnitude slower than a plain run; use
+	// it on small graphs to certify engine correctness.
+	Verify bool
 
 	// Progress, when non-nil, is invoked after every outer iteration
 	// with that iteration's statistics — the hook CLI tools use for
@@ -191,7 +202,15 @@ func Run(g *graph.Graph, opts Options) *Result {
 	rn := rng.New(opts.Seed)
 	res := &Result{}
 
+	if opts.Verify {
+		opts.MCMC.Verify = true
+		opts.Merge.Verify = true
+	}
+
 	cur := blockmodel.Identity(g, opts.MCMC.Workers)
+	if opts.Verify {
+		check.MustInvariants(cur, "initial identity state")
+	}
 	var imbSum float64
 	var imbSweeps int
 	br := &bracket{}
@@ -218,6 +237,9 @@ func Run(g *graph.Graph, opts Options) *Result {
 		cs := mcmc.Run(work, opts.Algorithm, opts.MCMC, rn)
 		mcmcTime := time.Since(mcmcStart)
 		work.Compact(opts.MCMC.Workers)
+		if opts.Verify {
+			check.MustInvariants(work, "post-compaction invariants")
+		}
 
 		mdl := work.MDL()
 		it := IterationStats{
