@@ -4,48 +4,55 @@
 // enable processing of graphs that are too large to fit in memory on a
 // single computational node."
 //
-// The substrate is an in-process simulation of a message-passing
-// cluster: each rank runs as a goroutine with strictly private state
-// and communicates only through typed point-to-point channels plus the
-// collectives built on them (barrier, allgather, allreduce). No rank
-// ever reads another rank's memory, so the algorithms written on top
-// are directly portable to a real network transport; the Comm records
-// per-rank traffic so experiments can report communication volume.
+// The package is layered like a real message-passing system:
+//
+//   - Transport (transport.go) is the point-to-point substrate —
+//     reliable, in-order delivery of framed byte payloads. The Cluster
+//     in this file is the in-process implementation (one goroutine per
+//     rank, channels for wires); internal/dist/net provides a TCP
+//     implementation with the same semantics.
+//   - Comm builds the collectives (barrier, allgather, allreduce) on
+//     top of any Transport, with explicit binary framing (frame.go).
+//     The collective code is shared bit-for-bit between the in-process
+//     simulation and the production TCP transport.
+//   - dsbp.go runs the distributed MCMC phase over a Comm, so the same
+//     RunRank drives an in-process cluster and a multi-process one
+//     (cmd/dsbp).
+//
+// No rank ever reads another rank's memory: payloads are copied on
+// send and decoded into fresh slices on receive, exactly the semantics
+// a network gives. The Comm records per-rank traffic and time spent in
+// collectives so experiments can report communication cost.
 package dist
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// message is one point-to-point payload. Payloads are passed by
-// reference for speed; senders must not mutate a payload after sending
-// (as with real MPI buffers before completion).
-type message struct {
-	from    int
-	payload interface{}
-}
-
-// Cluster is a set of ranks wired with point-to-point channels.
+// Cluster is the in-process Transport implementation: a set of ranks
+// wired with point-to-point byte-frame channels.
 type Cluster struct {
 	n     int
-	mail  [][]chan message // mail[to][from]
-	bytes atomic.Int64     // total traffic (modelled bytes)
+	mail  [][]chan []byte // mail[to][from]
+	bytes atomic.Int64    // total frame bytes sent by all ranks
 }
 
 // NewCluster creates a cluster with n ranks. Channels are buffered so a
 // rank can send to every peer without blocking (bulk-synchronous
-// exchanges never deadlock).
+// exchanges never deadlock, even with duplicated frames from the fault
+// injector in flight).
 func NewCluster(n int) *Cluster {
 	if n < 1 {
 		panic(fmt.Sprintf("dist: cluster size %d", n))
 	}
-	c := &Cluster{n: n, mail: make([][]chan message, n)}
+	c := &Cluster{n: n, mail: make([][]chan []byte, n)}
 	for to := 0; to < n; to++ {
-		c.mail[to] = make([]chan message, n)
+		c.mail[to] = make([]chan []byte, n)
 		for from := 0; from < n; from++ {
-			c.mail[to][from] = make(chan message, 4)
+			c.mail[to][from] = make(chan []byte, 8)
 		}
 	}
 	return c
@@ -54,102 +61,213 @@ func NewCluster(n int) *Cluster {
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return c.n }
 
-// TrafficBytes returns the total modelled bytes sent so far.
+// TrafficBytes returns the total frame bytes sent so far across all
+// ranks (excluding any wire-level length prefixes a real transport
+// adds).
 func (c *Cluster) TrafficBytes() int64 { return c.bytes.Load() }
 
-// Comm is one rank's endpoint.
-type Comm struct {
+// Transport returns rank r's in-process endpoint.
+func (c *Cluster) Transport(r int) Transport {
+	if r < 0 || r >= c.n {
+		panic(fmt.Sprintf("dist: rank %d outside [0,%d)", r, c.n))
+	}
+	return &chanTransport{rank: r, cluster: c}
+}
+
+// Comm returns rank r's endpoint with the collectives bound to the
+// in-process transport.
+func (c *Cluster) Comm(r int) *Comm { return NewComm(c.Transport(r)) }
+
+// chanTransport is one rank's view of the channel mesh.
+type chanTransport struct {
 	rank    int
 	cluster *Cluster
 }
 
-// Comm returns rank r's endpoint.
-func (c *Cluster) Comm(r int) *Comm {
-	if r < 0 || r >= c.n {
-		panic(fmt.Sprintf("dist: rank %d outside [0,%d)", r, c.n))
+func (t *chanTransport) Rank() int { return t.rank }
+func (t *chanTransport) Size() int { return t.cluster.n }
+
+// Send copies the frame and delivers it — the copy is what a real wire
+// does, and it is what makes a sender free to reuse (or mutate) its
+// buffer the moment Send returns. The pre-transport simulation shared
+// payload slices by reference here, a semantics no network can honor.
+func (t *chanTransport) Send(to int, frame []byte) error {
+	if to < 0 || to >= t.cluster.n || to == t.rank {
+		return fmt.Errorf("invalid destination rank %d", to)
 	}
-	return &Comm{rank: r, cluster: c}
+	t.cluster.bytes.Add(int64(len(frame)))
+	t.cluster.mail[to][t.rank] <- append([]byte(nil), frame...)
+	return nil
 }
+
+func (t *chanTransport) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= t.cluster.n || from == t.rank {
+		return nil, fmt.Errorf("invalid source rank %d", from)
+	}
+	return <-t.cluster.mail[t.rank][from], nil
+}
+
+// Close is a no-op: channel wires need no teardown.
+func (t *chanTransport) Close() error { return nil }
+
+// Comm is one rank's collective endpoint over a Transport. It is used
+// by a single rank goroutine; the traffic and timing counters are
+// rank-local.
+type Comm struct {
+	t        Transport
+	sent     int64
+	commTime time.Duration
+}
+
+// NewComm wraps a transport endpoint with the collectives.
+func NewComm(t Transport) *Comm { return &Comm{t: t} }
 
 // Rank returns this endpoint's rank id.
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.t.Rank() }
 
 // Size returns the cluster size.
-func (c *Comm) Size() int { return c.cluster.n }
+func (c *Comm) Size() int { return c.t.Size() }
 
-// send delivers payload to rank `to`, accounting bytes for the traffic
-// model.
-func (c *Comm) send(to int, payload interface{}, bytes int) {
-	c.cluster.bytes.Add(int64(bytes))
-	c.cluster.mail[to][c.rank] <- message{from: c.rank, payload: payload}
+// Transport returns the underlying transport endpoint.
+func (c *Comm) Transport() Transport { return c.t }
+
+// SentBytes returns the frame bytes this rank has sent.
+func (c *Comm) SentBytes() int64 { return c.sent }
+
+// CommTime returns the total wall time this rank has spent inside
+// collectives (blocked on the wire or encoding/decoding).
+func (c *Comm) CommTime() time.Duration { return c.commTime }
+
+// send delivers a frame, raising a *TransportError panic on failure so
+// algorithm code stays free of per-call error plumbing; Cluster.Run
+// re-raises it and RunRank converts it to an error.
+func (c *Comm) send(to int, frame []byte) {
+	c.sent += int64(len(frame))
+	if err := c.t.Send(to, frame); err != nil {
+		panic(&TransportError{Op: "send", Rank: c.t.Rank(), Peer: to, Err: err})
+	}
 }
 
-// recv blocks for the next message from rank `from`.
-func (c *Comm) recv(from int) interface{} {
-	m := <-c.cluster.mail[c.rank][from]
-	return m.payload
+// recv blocks for the next frame from rank `from`.
+func (c *Comm) recv(from int) []byte {
+	frame, err := c.t.Recv(from)
+	if err != nil {
+		panic(&TransportError{Op: "recv", Rank: c.t.Rank(), Peer: from, Err: err})
+	}
+	return frame
+}
+
+// timed accumulates collective wall time; use as `defer c.timed()()`.
+func (c *Comm) timed() func() {
+	start := time.Now()
+	return func() { c.commTime += time.Since(start) }
 }
 
 // Barrier blocks until every rank has entered the barrier. Implemented
-// as a dissemination barrier over the point-to-point channels (log
+// as a dissemination barrier over the point-to-point frames (log
 // rounds), like a real cluster barrier.
 func (c *Comm) Barrier() {
-	n := c.cluster.n
+	defer c.timed()()
+	n := c.t.Size()
+	rank := c.t.Rank()
 	for dist := 1; dist < n; dist <<= 1 {
-		to := (c.rank + dist) % n
-		from := (c.rank - dist + n) % n
-		c.send(to, nil, 0)
-		c.recv(from)
+		to := (rank + dist) % n
+		from := (rank - dist + n) % n
+		c.send(to, barrierFrame)
+		if err := checkBarrier(c.recv(from)); err != nil {
+			panic(&TransportError{Op: "recv", Rank: rank, Peer: from, Err: err})
+		}
 	}
 }
 
 // AllGatherInt32 exchanges each rank's slice so that every rank returns
-// the same [][]int32 indexed by rank. Slices are shared by reference;
-// receivers must treat them as read-only.
+// the same [][]int32 indexed by rank. Every returned slice — including
+// out[self] — is freshly decoded or copied, so callers own the result
+// and senders may mutate their argument the moment the call returns.
 func (c *Comm) AllGatherInt32(local []int32) [][]int32 {
-	n := c.cluster.n
+	defer c.timed()()
+	n := c.t.Size()
+	rank := c.t.Rank()
 	out := make([][]int32, n)
-	out[c.rank] = local
+	out[rank] = append([]int32(nil), local...)
+	frame := encodeInt32s(local)
 	for _, peer := range c.peers() {
-		c.send(peer, local, 4*len(local))
+		c.send(peer, frame)
 	}
 	for _, peer := range c.peers() {
-		out[peer] = c.recv(peer).([]int32)
+		xs, err := decodeInt32s(c.recv(peer))
+		if err != nil {
+			panic(&TransportError{Op: "recv", Rank: rank, Peer: peer, Err: err})
+		}
+		out[peer] = xs
 	}
 	return out
 }
 
 // AllReduceFloat64 combines one float64 per rank with op and returns
 // the combined value on every rank (flat exchange; clusters here are
-// small).
+// small). Contributions are folded in canonical rank order 0..n-1 with
+// this rank's own value at its own position, so every rank computes the
+// bit-identical result even for non-associative ops such as float
+// addition. The pre-transport version folded peers in a per-rank order,
+// which could return different sums on different ranks and split a
+// convergence decision across the cluster.
 func (c *Comm) AllReduceFloat64(x float64, op func(a, b float64) float64) float64 {
+	defer c.timed()()
+	n := c.t.Size()
+	rank := c.t.Rank()
+	frame := encodeFloat64(x)
 	for _, peer := range c.peers() {
-		c.send(peer, x, 8)
+		c.send(peer, frame)
 	}
-	acc := x
+	vals := make([]float64, n)
+	vals[rank] = x
 	for _, peer := range c.peers() {
-		acc = op(acc, c.recv(peer).(float64))
+		v, err := decodeFloat64(c.recv(peer))
+		if err != nil {
+			panic(&TransportError{Op: "recv", Rank: rank, Peer: peer, Err: err})
+		}
+		vals[peer] = v
+	}
+	acc := vals[0]
+	for r := 1; r < n; r++ {
+		acc = op(acc, vals[r])
 	}
 	return acc
 }
 
-// AllReduceInt64 is AllReduceFloat64 for int64.
+// AllReduceInt64 is AllReduceFloat64 for int64, with the same canonical
+// rank-order fold.
 func (c *Comm) AllReduceInt64(x int64, op func(a, b int64) int64) int64 {
+	defer c.timed()()
+	n := c.t.Size()
+	rank := c.t.Rank()
+	frame := encodeInt64(x)
 	for _, peer := range c.peers() {
-		c.send(peer, x, 8)
+		c.send(peer, frame)
 	}
-	acc := x
+	vals := make([]int64, n)
+	vals[rank] = x
 	for _, peer := range c.peers() {
-		acc = op(acc, c.recv(peer).(int64))
+		v, err := decodeInt64(c.recv(peer))
+		if err != nil {
+			panic(&TransportError{Op: "recv", Rank: rank, Peer: peer, Err: err})
+		}
+		vals[peer] = v
+	}
+	acc := vals[0]
+	for r := 1; r < n; r++ {
+		acc = op(acc, vals[r])
 	}
 	return acc
 }
 
-// peers lists every rank except this one, in a deterministic order.
+// peers lists every rank except this one, in canonical rank order.
 func (c *Comm) peers() []int {
-	out := make([]int, 0, c.cluster.n-1)
-	for r := 0; r < c.cluster.n; r++ {
-		if r != c.rank {
+	n := c.t.Size()
+	out := make([]int, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r != c.t.Rank() {
 			out = append(out, r)
 		}
 	}
@@ -159,6 +277,13 @@ func (c *Comm) peers() []int {
 // Run launches body on every rank and waits for all to finish. A panic
 // on any rank is re-raised on the caller after all ranks stop.
 func (c *Cluster) Run(body func(comm *Comm)) {
+	c.RunWith(nil, body)
+}
+
+// RunWith is Run with each rank's transport passed through wrap (nil
+// means identity) before its Comm is built — the hook the seeded
+// fault-injection tests use to interpose a flaky transport.
+func (c *Cluster) RunWith(wrap func(Transport) Transport, body func(comm *Comm)) {
 	var wg sync.WaitGroup
 	var panicVal atomic.Value
 	for r := 0; r < c.n; r++ {
@@ -170,7 +295,11 @@ func (c *Cluster) Run(body func(comm *Comm)) {
 					panicVal.Store(p)
 				}
 			}()
-			body(c.Comm(r))
+			t := c.Transport(r)
+			if wrap != nil {
+				t = wrap(t)
+			}
+			body(NewComm(t))
 		}(r)
 	}
 	wg.Wait()

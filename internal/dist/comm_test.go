@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -102,12 +104,98 @@ func TestTrafficAccounting(t *testing.T) {
 	const ranks = 3
 	c := NewCluster(ranks)
 	c.Run(func(comm *Comm) {
-		comm.AllGatherInt32(make([]int32, 100)) // 400 bytes to each of 2 peers
+		comm.AllGatherInt32(make([]int32, 100)) // one frame to each of 2 peers
 	})
-	want := int64(ranks * (ranks - 1) * 400)
+	frame := int64(len(encodeInt32s(make([]int32, 100))))
+	want := int64(ranks*(ranks-1)) * frame
 	if got := c.TrafficBytes(); got != want {
 		t.Fatalf("traffic = %d, want %d", got, want)
 	}
+}
+
+func TestCommTracksSentBytesAndTime(t *testing.T) {
+	const ranks = 4
+	c := NewCluster(ranks)
+	var mu sync.Mutex
+	perRank := make(map[int]int64)
+	c.Run(func(comm *Comm) {
+		comm.AllGatherInt32(make([]int32, 50))
+		comm.Barrier()
+		if comm.CommTime() <= 0 {
+			t.Errorf("rank %d: comm time not recorded", comm.Rank())
+		}
+		mu.Lock()
+		perRank[comm.Rank()] = comm.SentBytes()
+		mu.Unlock()
+	})
+	var sum int64
+	for _, b := range perRank {
+		sum += b
+	}
+	if sum != c.TrafficBytes() {
+		t.Fatalf("per-rank sent bytes sum to %d, cluster counted %d", sum, c.TrafficBytes())
+	}
+}
+
+// Regression for the cross-rank allreduce divergence bug: the
+// pre-transport fold visited peers in a per-rank order, so float sums
+// with values of adversarial magnitude could round differently on
+// different ranks and split a convergence decision. The fold is now in
+// canonical rank order 0..n-1, so every rank must get the bit-identical
+// result, equal to the sequential left fold.
+func TestAllReduceFloat64CanonicalAcrossRanks(t *testing.T) {
+	// Magnitudes chosen so the sum is maximally order-sensitive:
+	// pairs that cancel at 1e16 straddle tiny values that vanish
+	// unless added after the cancellation.
+	vals := []float64{1e16, 3.14159, -1e16, 1e-8, 2.5e15, -2.5e15, -7.25, 1e3}
+	ranks := len(vals)
+	add := func(a, b float64) float64 { return a + b }
+
+	want := vals[0]
+	for _, v := range vals[1:] {
+		want = add(want, v)
+	}
+
+	got := make([]float64, ranks)
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		got[comm.Rank()] = comm.AllReduceFloat64(vals[comm.Rank()], add)
+	})
+	for r, g := range got {
+		if math.Float64bits(g) != math.Float64bits(want) {
+			t.Errorf("rank %d: sum %v (bits %016x), want %v (bits %016x)",
+				r, g, math.Float64bits(g), want, math.Float64bits(want))
+		}
+		if math.Float64bits(g) != math.Float64bits(got[0]) {
+			t.Errorf("rank %d disagrees with rank 0: %v vs %v", r, g, got[0])
+		}
+	}
+}
+
+// Regression for the gather aliasing bug: the pre-transport allgather
+// shared payload slices by reference, so a sender mutating its buffer
+// after the exchange silently corrupted every peer — semantics no
+// network transport can honor. Receivers (and the sender's own entry)
+// must now hold private copies.
+func TestAllGatherCopyOnReceive(t *testing.T) {
+	const ranks = 4
+	c := NewCluster(ranks)
+	c.Run(func(comm *Comm) {
+		r := comm.Rank()
+		local := []int32{int32(r), int32(r + 100)}
+		all := comm.AllGatherInt32(local)
+		// Sender reuses (mutates) its buffer immediately after the
+		// call returns — legal now that payloads are copied.
+		local[0], local[1] = -1, -1
+		comm.Barrier() // every rank has mutated before anyone checks
+		for peer := 0; peer < ranks; peer++ {
+			want0, want1 := int32(peer), int32(peer+100)
+			if all[peer][0] != want0 || all[peer][1] != want1 {
+				t.Errorf("rank %d: segment from %d corrupted by sender mutation: %v",
+					r, peer, all[peer])
+			}
+		}
+	})
 }
 
 func TestClusterPanics(t *testing.T) {

@@ -3,8 +3,11 @@ package dist
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/blockmodel"
+	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -17,14 +20,15 @@ import (
 //  2. every rank proposes moves for its owned vertices against its
 //     (stale) replica — exactly the bounded-staleness semantics of the
 //     shared-memory engines;
-//  3. ranks allgather their membership segments (the only per-sweep
-//     communication, V·4 bytes per rank pair) and rebuild replicas.
+//  3. ranks allgather their membership segments (the only per-sweep bulk
+//     communication, V·4 bytes per rank pair) and rebuild replicas;
+//  4. ranks allreduce the replica MDL to agree on convergence — the
+//     canonical rank-order fold guarantees every rank sees the same
+//     bits, and the reduction doubles as a divergence detector.
 //
-// The graph structure is shared read-only between ranks — replicating
-// the immutable adjacency is pointless in a single-process simulation —
-// but all *mutable* state (replica, membership, RNG) is rank-private,
-// so the communication pattern and traffic volume match a real
-// distributed implementation with a replicated blockmodel.
+// RunRank is the single-rank body: it speaks only through a Comm, so it
+// runs unchanged on the in-process channel cluster (RunMCMCPhase) and
+// as one process of a real TCP cluster (cmd/dsbp).
 
 // Mode selects the distributed variant.
 type Mode int
@@ -44,14 +48,46 @@ func (m Mode) String() string {
 	return "D-A-SBP"
 }
 
+// Partition selects how vertices are assigned to ranks.
+type Partition int
+
+const (
+	// PartitionDegree (the default) gives each rank a contiguous range
+	// of approximately equal total degree via parallel.BalancedRanges.
+	// An equal-count split places all hubs on low ranks for the common
+	// case of degree-sorted graph files; proposal cost is proportional
+	// to degree, so that skew serialises the whole bulk-synchronous
+	// sweep behind the hub-owning ranks.
+	PartitionDegree Partition = iota
+	// PartitionUniform is the legacy equal-vertex-count split.
+	PartitionUniform
+)
+
+func (p Partition) String() string {
+	switch p {
+	case PartitionDegree:
+		return "degree"
+	case PartitionUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
 // Config holds the distributed-phase tunables.
 type Config struct {
-	Ranks          int     // cluster size (>= 1)
-	Beta           float64 // acceptance inverse temperature
-	Threshold      float64 // convergence threshold t
-	MaxSweeps      int     // sweep cap x
-	HybridFraction float64 // V* share for ModeHybrid
+	Ranks          int       // cluster size (>= 1)
+	Beta           float64   // acceptance inverse temperature
+	Threshold      float64   // convergence threshold t
+	MaxSweeps      int       // sweep cap x
+	HybridFraction float64   // V* share for ModeHybrid
+	Partition      Partition // vertex-to-rank split (degree-balanced default)
 	Seed           uint64
+
+	// WrapTransport, when non-nil, interposes on each rank's transport
+	// before the phase runs (in-process clusters only) — the hook the
+	// fault-injection tests use to make every wire flaky.
+	WrapTransport func(Transport) Transport
 }
 
 // DefaultConfig mirrors the shared-memory defaults on 4 ranks.
@@ -69,11 +105,62 @@ type PhaseStats struct {
 	InitialS     float64
 	FinalS       float64
 	Converged    bool
-	TrafficBytes int64 // total bytes exchanged between ranks
+	TrafficBytes int64         // total frame bytes exchanged between ranks
+	CommTime     time.Duration // rank 0's wall time inside collectives
+}
+
+// CommPerSweep returns rank 0's average collective time per sweep.
+func (st PhaseStats) CommPerSweep() time.Duration {
+	if st.Sweeps == 0 {
+		return 0
+	}
+	return st.CommTime / time.Duration(st.Sweeps)
+}
+
+// RankStats is one rank's view of a distributed phase. Proposals and
+// Accepts are cluster-global totals (allreduced at phase end);
+// SentBytes and CommTime are rank-local.
+type RankStats struct {
+	Rank      int
+	Sweeps    int
+	Proposals int64
+	Accepts   int64
+	Converged bool
+	InitialS  float64
+	FinalS    float64
+	SentBytes int64
+	CommTime  time.Duration
+}
+
+// PartitionRanges returns exactly `ranks` contiguous vertex ranges
+// covering [0, V) under the given policy. Every rank (on every node)
+// computes the same split deterministically from the shared immutable
+// graph. When ranks > V the trailing ranges are empty.
+func PartitionRanges(g *graph.Graph, ranks int, p Partition) []parallel.Range {
+	n := g.NumVertices()
+	out := make([]parallel.Range, 0, ranks)
+	if p == PartitionUniform {
+		for r := 0; r < ranks; r++ {
+			lo, hi := PartitionBounds(n, ranks, r)
+			out = append(out, parallel.Range{Lo: lo, Hi: hi})
+		}
+		return out
+	}
+	w := ranks
+	if w > n {
+		w = n
+	}
+	out = append(out, parallel.BalancedRanges(n, w, func(i int) int64 { return int64(g.Degree(i)) })...)
+	for len(out) < ranks {
+		out = append(out, parallel.Range{Lo: n, Hi: n})
+	}
+	return out
 }
 
 // RunMCMCPhase executes the distributed MCMC phase for the given mode
-// on bm in place and returns phase statistics.
+// on bm in place, over an in-process cluster, and returns phase
+// statistics. The per-rank body is RunRank — the same code cmd/dsbp
+// runs over TCP.
 func RunMCMCPhase(bm *blockmodel.Blockmodel, mode Mode, cfg Config) (PhaseStats, error) {
 	if cfg.Ranks < 1 {
 		return PhaseStats{}, fmt.Errorf("dist: rank count %d", cfg.Ranks)
@@ -86,17 +173,84 @@ func RunMCMCPhase(bm *blockmodel.Blockmodel, mode Mode, cfg Config) (PhaseStats,
 	st := PhaseStats{Mode: mode, Ranks: ranks, InitialS: bm.MDL()}
 
 	cluster := NewCluster(ranks)
-	master := rng.New(cfg.Seed)
-	rankRNGs := make([]*rng.RNG, ranks)
-	for r := range rankRNGs {
-		rankRNGs[r] = master.Split()
+	rankStats := make([]RankStats, ranks)
+	errs := make([]error, ranks)
+	var final []int32
+	cluster.RunWith(cfg.WrapTransport, func(comm *Comm) {
+		r := comm.Rank()
+		membership := append([]int32(nil), bm.Assignment...)
+		rs, err := RunRank(comm, bm.G, membership, bm.C, mode, cfg)
+		if err != nil {
+			errs[r] = err
+			return
+		}
+		rankStats[r] = rs
+		if r == 0 {
+			final = membership
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
 	}
+
+	// Every replica followed the same deterministic exchange, so rank
+	// 0's membership is the global result.
+	bm.RebuildFrom(final, 1)
+	st.FinalS = bm.MDL()
+	r0 := rankStats[0]
+	st.Sweeps = r0.Sweeps
+	st.Converged = r0.Converged
+	st.Proposals = r0.Proposals
+	st.Accepts = r0.Accepts
+	st.TrafficBytes = cluster.TrafficBytes()
+	st.CommTime = r0.CommTime
+	return st, nil
+}
+
+// RunRank executes one rank of the distributed MCMC phase over comm.
+// membership is the starting assignment (identical on every rank, c
+// blocks); on success it holds the final global membership, identical
+// on every rank. The graph is the rank's immutable local copy of the
+// structure (shared in-process, loaded from file per process under
+// cmd/dsbp); all mutable state is private and every exchange goes
+// through comm, so behaviour is bit-identical across transports.
+func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, cfg Config) (st RankStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if te, ok := p.(*TransportError); ok {
+				err = te
+				return
+			}
+			panic(p)
+		}
+	}()
+
+	n := g.NumVertices()
+	if len(membership) != n {
+		return st, fmt.Errorf("dist: membership length %d for %d vertices", len(membership), n)
+	}
+	ranks := comm.Size()
+	r := comm.Rank()
+	st.Rank = r
+
+	// Every rank derives the same split and the same per-rank RNG
+	// streams from the shared seed; rank r keeps only its own stream.
+	ranges := PartitionRanges(g, ranks, cfg.Partition)
+	lo, hi := ranges[r].Lo, ranges[r].Hi
+	master := rng.New(cfg.Seed)
+	var rn *rng.RNG
+	for i := 0; i <= r; i++ {
+		rn = master.Split()
+	}
+	sc := blockmodel.NewScratch()
 
 	// V* for hybrid mode, chosen once from the global degree order.
 	var vStar []int32
 	inStar := make([]bool, n)
 	if mode == ModeHybrid {
-		order := bm.G.VerticesByDegreeDesc()
+		order := g.VerticesByDegreeDesc()
 		k := int(cfg.HybridFraction * float64(n))
 		if cfg.HybridFraction > 0 && k == 0 {
 			k = 1
@@ -107,128 +261,122 @@ func RunMCMCPhase(bm *blockmodel.Blockmodel, mode Mode, cfg Config) (PhaseStats,
 		}
 	}
 
-	type rankResult struct {
-		sweeps    int
-		proposals int64
-		accepts   int64
-		converged bool
-		final     float64
+	// Private replica built from the immutable graph and the starting
+	// membership.
+	replica, err := blockmodel.FromAssignment(g, membership, c, 1)
+	if err != nil {
+		return st, err
 	}
-	results := make([]rankResult, ranks)
-	membership := append([]int32(nil), bm.Assignment...)
+	st.InitialS = replica.MDL()
+	prev := st.InitialS
+	st.FinalS = st.InitialS
 
-	cluster.Run(func(comm *Comm) {
-		r := comm.Rank()
-		lo := r * n / ranks
-		hi := (r + 1) * n / ranks
-		rn := rankRNGs[r]
-		sc := blockmodel.NewScratch()
-
-		// Private replica built from the shared immutable graph and the
-		// starting membership.
-		replica, err := blockmodel.FromAssignment(bm.G, membership, bm.C, 1)
-		if err != nil {
-			panic(err)
-		}
-		res := rankResult{}
-		prev := st.InitialS
-
-		for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-			// Hybrid: rank 0 leads the serial pass over V*, then the
-			// resulting V* assignments travel with its segment gather
-			// below (V* moves overwrite the stale values everywhere).
-			var starMoves []int32 // flat (vertex, block) pairs from rank 0
-			if mode == ModeHybrid {
-				if r == 0 {
-					for _, v := range vStar {
-						s := replica.ProposeVertexMove(int(v), replica.Assignment, rn)
-						if s == replica.Assignment[v] {
-							continue
-						}
-						res.proposals++
-						md := replica.EvalMove(int(v), s, replica.Assignment, sc)
-						if md.EmptiesSrc {
-							continue
-						}
-						h := replica.HastingsCorrection(&md)
-						if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
-							replica.ApplyMove(md)
-							res.accepts++
-							starMoves = append(starMoves, v, s)
-						}
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		// Hybrid: rank 0 leads the serial pass over V*, then the
+		// resulting V* assignments travel with its segment gather
+		// below (V* moves overwrite the stale values everywhere).
+		var starMoves []int32 // flat (vertex, block) pairs from rank 0
+		if mode == ModeHybrid {
+			if r == 0 {
+				for _, v := range vStar {
+					s := replica.ProposeVertexMove(int(v), replica.Assignment, rn)
+					if s == replica.Assignment[v] {
+						continue
 					}
-				}
-				// Broadcast the V* moves (rank 0's list; empty elsewhere).
-				all := comm.AllGatherInt32(starMoves)
-				for i := 0; i+1 < len(all[0]); i += 2 {
-					v, s := all[0][i], all[0][i+1]
-					if r != 0 {
-						applyTo(replica, int(v), s, sc)
+					st.Proposals++
+					md := replica.EvalMove(int(v), s, replica.Assignment, sc)
+					if md.EmptiesSrc {
+						continue
+					}
+					h := replica.HastingsCorrection(&md)
+					if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
+						replica.ApplyMove(md)
+						st.Accepts++
+						starMoves = append(starMoves, v, s)
 					}
 				}
 			}
-
-			// Asynchronous pass over owned vertices against the stale
-			// replica; accepted moves go into the private segment only.
-			segment := append([]int32(nil), replica.Assignment[lo:hi]...)
-			for v := lo; v < hi; v++ {
-				if mode == ModeHybrid && inStar[v] {
-					continue // already handled serially
-				}
-				s := replica.ProposeVertexMove(v, replica.Assignment, rn)
-				if s == replica.Assignment[v] {
-					continue
-				}
-				res.proposals++
-				md := replica.EvalMove(v, s, replica.Assignment, sc)
-				if md.EmptiesSrc {
-					continue
-				}
-				h := replica.HastingsCorrection(&md)
-				if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
-					segment[v-lo] = s
-					res.accepts++
+			// Broadcast the V* moves (rank 0's list; empty elsewhere).
+			all := comm.AllGatherInt32(starMoves)
+			for i := 0; i+1 < len(all[0]); i += 2 {
+				v, s := all[0][i], all[0][i+1]
+				if r != 0 {
+					applyTo(replica, int(v), s, sc)
 				}
 			}
-
-			// Exchange segments; every rank assembles the same global
-			// membership and rebuilds its replica from it.
-			segments := comm.AllGatherInt32(segment)
-			assembled := make([]int32, 0, n)
-			for peer := 0; peer < ranks; peer++ {
-				assembled = append(assembled, segments[peer]...)
-			}
-			replica.RebuildFrom(assembled, 1)
-			res.sweeps++
-
-			cur := replica.MDL()
-			if math.Abs(prev-cur) <= cfg.Threshold*math.Abs(cur) {
-				res.converged = true
-				res.final = cur
-				break
-			}
-			prev = cur
-			res.final = cur
 		}
-		if r == 0 {
-			copy(membership, replica.Assignment)
-		}
-		results[r] = res
-	})
 
-	// Every replica followed the same deterministic exchange, so rank
-	// 0's membership is the global result.
-	bm.RebuildFrom(membership, 1)
-	st.FinalS = bm.MDL()
-	first := results[0]
-	st.Sweeps = first.sweeps
-	st.Converged = first.converged
-	for _, r := range results {
-		st.Proposals += r.proposals
-		st.Accepts += r.accepts
+		// Asynchronous pass over owned vertices against the stale
+		// replica; accepted moves go into the private segment only.
+		segment := append([]int32(nil), replica.Assignment[lo:hi]...)
+		for v := lo; v < hi; v++ {
+			if mode == ModeHybrid && inStar[v] {
+				continue // already handled serially
+			}
+			s := replica.ProposeVertexMove(v, replica.Assignment, rn)
+			if s == replica.Assignment[v] {
+				continue
+			}
+			st.Proposals++
+			md := replica.EvalMove(v, s, replica.Assignment, sc)
+			if md.EmptiesSrc {
+				continue
+			}
+			h := replica.HastingsCorrection(&md)
+			if acceptMove(md.DeltaS, h, cfg.Beta, rn) {
+				segment[v-lo] = s
+				st.Accepts++
+			}
+		}
+
+		// Exchange segments; every rank assembles the same global
+		// membership and rebuilds its replica from it.
+		segments := comm.AllGatherInt32(segment)
+		assembled := make([]int32, 0, n)
+		for peer := 0; peer < ranks; peer++ {
+			assembled = append(assembled, segments[peer]...)
+		}
+		replica.RebuildFrom(assembled, 1)
+		st.Sweeps++
+
+		// Agree on the sweep's MDL. The canonical-order allreduce makes
+		// the value bit-identical on every rank, so the convergence
+		// decision below cannot split the cluster; agreeOr folds to NaN
+		// if any replica disagrees, turning silent divergence into a
+		// hard error.
+		local := replica.MDL()
+		cur := comm.AllReduceFloat64(local, agreeOr)
+		if math.IsNaN(cur) && !math.IsNaN(local) {
+			return st, fmt.Errorf("dist: rank %d replica diverged at sweep %d (local MDL %v)", r, sweep, local)
+		}
+		st.FinalS = cur
+		if math.Abs(prev-cur) <= cfg.Threshold*math.Abs(cur) {
+			st.Converged = true
+			break
+		}
+		prev = cur
 	}
-	st.TrafficBytes = cluster.TrafficBytes()
+
+	copy(membership, replica.Assignment)
+	st.SentBytes = comm.SentBytes()
+
+	// Cluster-global proposal/accept totals, and a final barrier so no
+	// rank tears down its transport while a peer is still draining.
+	sum := func(a, b int64) int64 { return a + b }
+	st.Proposals = comm.AllReduceInt64(st.Proposals, sum)
+	st.Accepts = comm.AllReduceInt64(st.Accepts, sum)
+	comm.Barrier()
+	st.CommTime = comm.CommTime()
 	return st, nil
+}
+
+// agreeOr is the allreduce op for values that must already be equal on
+// every rank: it returns the common value, or NaN on any mismatch.
+func agreeOr(a, b float64) float64 {
+	if a == b {
+		return a
+	}
+	return math.NaN()
 }
 
 // acceptMove is the shared Metropolis-Hastings acceptance rule.
@@ -247,15 +395,16 @@ func applyTo(replica *blockmodel.Blockmodel, v int, s int32, sc *blockmodel.Scra
 	replica.ApplyMove(md)
 }
 
-// PartitionBounds returns the contiguous vertex range owned by rank r
-// of `ranks` over n vertices. Exposed for tests and tooling.
+// PartitionBounds returns the contiguous vertex range an equal-count
+// split gives rank r of `ranks` over n vertices — the PartitionUniform
+// policy. Exposed for tests and tooling.
 func PartitionBounds(n, ranks, r int) (lo, hi int) {
 	return r * n / ranks, (r + 1) * n / ranks
 }
 
 // Describe returns a short human-readable summary of a phase result.
 func (st PhaseStats) Describe() string {
-	return fmt.Sprintf("%s ranks=%d sweeps=%d accepts=%d/%d traffic=%dB ΔS=%.1f",
+	return fmt.Sprintf("%s ranks=%d sweeps=%d accepts=%d/%d traffic=%dB comm/sweep=%s ΔS=%.1f",
 		st.Mode, st.Ranks, st.Sweeps, st.Accepts, st.Proposals,
-		st.TrafficBytes, st.FinalS-st.InitialS)
+		st.TrafficBytes, st.CommPerSweep(), st.FinalS-st.InitialS)
 }

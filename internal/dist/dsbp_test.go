@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/blockmodel"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -147,6 +149,139 @@ func TestDistributedMoreRanksThanVertices(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if ModeAsync.String() != "D-A-SBP" || ModeHybrid.String() != "D-H-SBP" {
 		t.Fatal("mode names changed")
+	}
+	if PartitionDegree.String() != "degree" || PartitionUniform.String() != "uniform" {
+		t.Fatal("partition names changed")
+	}
+}
+
+// degreeSortedGraph returns a power-law graph whose vertex ids are in
+// descending degree order — the layout degree-sorted graph files have,
+// and the adversarial case for an equal-count vertex split (all hubs
+// land on rank 0).
+func degreeSortedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.Generate(gen.Spec{
+		Name: "plaw", Vertices: 600, Communities: 6, MinDegree: 2, MaxDegree: 120,
+		Exponent: 2.1, Ratio: 5, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := g.VerticesByDegreeDesc()
+	relabel := make([]int32, g.NumVertices())
+	for newID, oldID := range order {
+		relabel[oldID] = int32(newID)
+	}
+	var edges []graph.Edge
+	for _, e := range g.Edges() {
+		edges = append(edges, graph.Edge{Src: relabel[e.Src], Dst: relabel[e.Dst]})
+	}
+	return graph.MustNew(g.NumVertices(), edges)
+}
+
+// Regression for the uniform vertex split: on a degree-sorted graph it
+// concentrates all hubs on low ranks, serialising the bulk-synchronous
+// sweep behind them. The degree-aware split must keep every rank's
+// degree load within 1.5x of the ideal share.
+func TestPartitionRangesDegreeBalanced(t *testing.T) {
+	g := degreeSortedGraph(t)
+	const ranks = 8
+	load := func(rs []parallel.Range) (max, total int64) {
+		for _, r := range rs {
+			var w int64
+			for v := r.Lo; v < r.Hi; v++ {
+				w += int64(g.Degree(v))
+			}
+			if w > max {
+				max = w
+			}
+			total += w
+		}
+		return
+	}
+
+	balanced := PartitionRanges(g, ranks, PartitionDegree)
+	if len(balanced) != ranks {
+		t.Fatalf("%d ranges for %d ranks", len(balanced), ranks)
+	}
+	covered := 0
+	prevHi := 0
+	for _, r := range balanced {
+		if r.Lo != prevHi {
+			t.Fatalf("ranges not contiguous at %d", r.Lo)
+		}
+		covered += r.Len()
+		prevHi = r.Hi
+	}
+	if covered != g.NumVertices() || prevHi != g.NumVertices() {
+		t.Fatalf("ranges cover %d of %d vertices", covered, g.NumVertices())
+	}
+
+	maxBal, total := load(balanced)
+	ideal := float64(total) / float64(ranks)
+	if imb := float64(maxBal) / ideal; imb > 1.5 {
+		t.Fatalf("degree-aware split imbalance %.2f > 1.5", imb)
+	}
+	// And the uniform split really is the bug being fixed: on this
+	// layout its heaviest rank carries well above the balanced load.
+	maxUni, _ := load(PartitionRanges(g, ranks, PartitionUniform))
+	if maxUni <= maxBal {
+		t.Fatalf("uniform split (max %d) not worse than balanced (max %d) on degree-sorted layout", maxUni, maxBal)
+	}
+}
+
+func TestPartitionRangesMoreRanksThanVertices(t *testing.T) {
+	g := degreeSortedGraph(t)
+	n := g.NumVertices()
+	rs := PartitionRanges(g, n+5, PartitionDegree)
+	if len(rs) != n+5 {
+		t.Fatalf("%d ranges", len(rs))
+	}
+	covered := 0
+	for _, r := range rs {
+		covered += r.Len()
+	}
+	if covered != n {
+		t.Fatalf("ranges cover %d of %d vertices", covered, n)
+	}
+	for _, r := range rs[n:] {
+		if r.Len() != 0 {
+			t.Fatalf("trailing range %v not empty", r)
+		}
+	}
+}
+
+func TestDistributedUniformPartitionStillWorks(t *testing.T) {
+	bm, _ := distModel(t, 19)
+	cfg := testCfg(4)
+	cfg.Partition = PartitionUniform
+	st, err := RunMCMCPhase(bm, ModeAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalS >= st.InitialS {
+		t.Fatalf("MDL did not improve: %v -> %v", st.InitialS, st.FinalS)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseStatsCommAccounting(t *testing.T) {
+	bm, _ := distModel(t, 25)
+	st, err := RunMCMCPhase(bm, ModeAsync, testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrafficBytes <= 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if st.CommTime <= 0 || st.CommPerSweep() <= 0 {
+		t.Fatalf("comm time not recorded: total %v, per sweep %v", st.CommTime, st.CommPerSweep())
+	}
+	if st.CommPerSweep() > st.CommTime {
+		t.Fatal("per-sweep comm time exceeds total")
 	}
 }
 

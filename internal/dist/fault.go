@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Seeded fault injection at the Transport layer. FaultTransport wraps
+// any Transport and perturbs the message stream the way a lossy
+// network path would — first-transmission drops (followed by a delayed
+// retransmit, the behaviour a reliability layer recovers to),
+// sender-side delays, and duplicated frames — while preserving the
+// reliable in-order contract the collectives require. Duplicates are
+// filtered on the receive side with a per-stream sequence header, so a
+// phase run over a flaky transport must produce bit-identical results
+// to the clean run; the tests assert exactly that. All randomness comes
+// from a private seeded stream, so a given (seed, call sequence) yields
+// the same fault schedule every run.
+
+// FaultConfig tunes the injected faults. Probabilities are per Send and
+// independent; zero values inject nothing.
+type FaultConfig struct {
+	Seed       uint64
+	DropProb   float64       // P(first transmission lost; retransmitted after RetryDelay)
+	RetryDelay time.Duration // pause before the retransmit of a dropped frame
+	DelayProb  float64       // P(sender stalls before the frame goes out)
+	MaxDelay   time.Duration // stall duration is uniform in (0, MaxDelay]
+	DupProb    float64       // P(frame is sent twice)
+}
+
+// FaultStats counts the injected faults and their recoveries.
+type FaultStats struct {
+	Drops     int64 // first transmissions lost (then retransmitted)
+	Delays    int64 // sender-side stalls
+	Dups      int64 // frames sent twice
+	Discarded int64 // duplicate frames filtered on receive
+}
+
+// FaultTransport is a Transport wrapper injecting seeded faults. Like
+// any Transport endpoint it is used by a single rank goroutine; the
+// sequence state and stats need no locking.
+type FaultTransport struct {
+	inner    Transport
+	cfg      FaultConfig
+	rn       *rng.RNG
+	nextSeq  []uint32 // per destination rank; first frame carries seq 1
+	lastSeen []uint32 // per source rank; 0 = nothing received yet
+	stats    FaultStats
+}
+
+// NewFaultTransport wraps inner with seeded fault injection. Wrap every
+// rank's endpoint (with distinct seeds) to make the whole mesh flaky.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		inner:    inner,
+		cfg:      cfg,
+		rn:       rng.New(cfg.Seed ^ 0xFA017FA017 ^ uint64(inner.Rank())),
+		nextSeq:  make([]uint32, inner.Size()),
+		lastSeen: make([]uint32, inner.Size()),
+	}
+}
+
+// Stats returns the fault counters so far.
+func (t *FaultTransport) Stats() FaultStats { return t.stats }
+
+func (t *FaultTransport) Rank() int    { return t.inner.Rank() }
+func (t *FaultTransport) Size() int    { return t.inner.Size() }
+func (t *FaultTransport) Close() error { return t.inner.Close() }
+
+// Send wraps the frame with a sequence header and subjects it to the
+// configured faults. All three probability draws happen on every call
+// so the fault schedule depends only on the call sequence, not on
+// which faults fired earlier.
+func (t *FaultTransport) Send(to int, frame []byte) error {
+	if to < 0 || to >= t.inner.Size() {
+		return fmt.Errorf("fault: invalid destination rank %d", to)
+	}
+	t.nextSeq[to]++
+	wrapped := make([]byte, 4+len(frame))
+	binary.LittleEndian.PutUint32(wrapped, t.nextSeq[to])
+	copy(wrapped[4:], frame)
+
+	drop := t.rn.Float64() < t.cfg.DropProb
+	delay := t.rn.Float64() < t.cfg.DelayProb
+	dup := t.rn.Float64() < t.cfg.DupProb
+
+	if drop {
+		// The first transmission vanishes on the wire; the reliability
+		// layer times out and retransmits.
+		t.stats.Drops++
+		time.Sleep(t.cfg.RetryDelay)
+	}
+	if delay {
+		t.stats.Delays++
+		d := time.Duration(t.rn.Float64() * float64(t.cfg.MaxDelay))
+		time.Sleep(d)
+	}
+	if err := t.inner.Send(to, wrapped); err != nil {
+		return err
+	}
+	if dup {
+		t.stats.Dups++
+		return t.inner.Send(to, wrapped)
+	}
+	return nil
+}
+
+// Recv unwraps the sequence header and discards duplicated frames.
+func (t *FaultTransport) Recv(from int) ([]byte, error) {
+	for {
+		wrapped, err := t.inner.Recv(from)
+		if err != nil {
+			return nil, err
+		}
+		if len(wrapped) < 4 {
+			return nil, fmt.Errorf("fault: frame from rank %d shorter than sequence header", from)
+		}
+		seq := binary.LittleEndian.Uint32(wrapped)
+		if seq <= t.lastSeen[from] {
+			t.stats.Discarded++
+			continue
+		}
+		if seq != t.lastSeen[from]+1 {
+			return nil, fmt.Errorf("fault: stream from rank %d jumped seq %d -> %d", from, t.lastSeen[from], seq)
+		}
+		t.lastSeen[from] = seq
+		return wrapped[4:], nil
+	}
+}

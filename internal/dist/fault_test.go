@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func flakyCfg(seed uint64) FaultConfig {
+	return FaultConfig{
+		Seed:       seed,
+		DropProb:   0.15,
+		RetryDelay: 200 * time.Microsecond,
+		DelayProb:  0.15,
+		MaxDelay:   500 * time.Microsecond,
+		DupProb:    0.2,
+	}
+}
+
+// wrapFlaky builds a WrapTransport hook that makes every rank's wire
+// flaky with a rank-distinct seeded schedule, and remembers the
+// wrappers so tests can inspect their stats afterwards.
+func wrapFlaky(seed uint64) (func(Transport) Transport, func() FaultStats) {
+	var mu sync.Mutex
+	var wrappers []*FaultTransport
+	wrap := func(inner Transport) Transport {
+		ft := NewFaultTransport(inner, flakyCfg(seed+uint64(inner.Rank())))
+		mu.Lock()
+		wrappers = append(wrappers, ft)
+		mu.Unlock()
+		return ft
+	}
+	total := func() FaultStats {
+		mu.Lock()
+		defer mu.Unlock()
+		var sum FaultStats
+		for _, ft := range wrappers {
+			s := ft.Stats()
+			sum.Drops += s.Drops
+			sum.Delays += s.Delays
+			sum.Dups += s.Dups
+			sum.Discarded += s.Discarded
+		}
+		return sum
+	}
+	return wrap, total
+}
+
+func TestFaultTransportCollectivesStayCorrect(t *testing.T) {
+	const ranks = 4
+	c := NewCluster(ranks)
+	wrap, stats := wrapFlaky(42)
+	c.RunWith(wrap, func(comm *Comm) {
+		for round := 0; round < 50; round++ {
+			sum := comm.AllReduceInt64(int64(comm.Rank()+round), func(a, b int64) int64 { return a + b })
+			want := int64(ranks*round + ranks*(ranks-1)/2)
+			if sum != want {
+				t.Errorf("rank %d round %d: sum %d, want %d", comm.Rank(), round, sum, want)
+				return
+			}
+			all := comm.AllGatherInt32([]int32{int32(comm.Rank()), int32(round)})
+			for r := 0; r < ranks; r++ {
+				if all[r][0] != int32(r) || all[r][1] != int32(round) {
+					t.Errorf("rank %d round %d: bad segment from %d: %v", comm.Rank(), round, r, all[r])
+					return
+				}
+			}
+			comm.Barrier()
+		}
+	})
+	s := stats()
+	if s.Drops == 0 || s.Dups == 0 || s.Delays == 0 {
+		t.Fatalf("fault schedule injected nothing: %+v", s)
+	}
+	// Duplicates of the final frames may still sit undrained in the
+	// wires when the run ends, so Discarded can trail Dups slightly —
+	// but it must never exceed them, and most must have been filtered.
+	if s.Discarded > s.Dups || s.Discarded == 0 {
+		t.Fatalf("injected %d duplicates, receivers discarded %d", s.Dups, s.Discarded)
+	}
+}
+
+// The satellite fault-injection suite: a D-H-SBP phase over a flaky
+// transport (seeded drops, delays and duplicates on every wire) must
+// complete and produce bit-identical final membership and MDL to the
+// clean run at the same seed — the faults may only cost time, never
+// correctness. Run under -race in CI.
+func TestFaultyDHSBPMatchesCleanRun(t *testing.T) {
+	run := func(wrap func(Transport) Transport) ([]int32, float64, PhaseStats) {
+		bm, _ := distModel(t, 21)
+		cfg := testCfg(4)
+		cfg.WrapTransport = wrap
+		st, err := RunMCMCPhase(bm, ModeHybrid, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]int32(nil), bm.Assignment...), bm.MDL(), st
+	}
+
+	cleanM, cleanS, cleanSt := run(nil)
+	wrap, stats := wrapFlaky(99)
+	faultM, faultS, faultSt := run(wrap)
+
+	if s := stats(); s.Drops == 0 && s.Dups == 0 && s.Delays == 0 {
+		t.Fatalf("fault schedule injected nothing: %+v", s)
+	}
+	if faultS != cleanS {
+		t.Fatalf("final MDL under faults %v != clean %v", faultS, cleanS)
+	}
+	if faultSt.Sweeps != cleanSt.Sweeps {
+		t.Fatalf("sweeps under faults %d != clean %d", faultSt.Sweeps, cleanSt.Sweeps)
+	}
+	for v := range cleanM {
+		if cleanM[v] != faultM[v] {
+			t.Fatalf("membership diverged at vertex %d: clean %d, faulty %d", v, cleanM[v], faultM[v])
+		}
+	}
+}
+
+func TestFaultTransportAsyncPhase(t *testing.T) {
+	bm, _ := distModel(t, 23)
+	wrap, _ := wrapFlaky(7)
+	cfg := testCfg(3)
+	cfg.WrapTransport = wrap
+	st, err := RunMCMCPhase(bm, ModeAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalS >= st.InitialS {
+		t.Fatalf("MDL did not improve under faults: %v -> %v", st.InitialS, st.FinalS)
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

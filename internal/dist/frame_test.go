@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTripInt32s(t *testing.T) {
+	for _, xs := range [][]int32{nil, {}, {0}, {1, -1, math.MaxInt32, math.MinInt32}, make([]int32, 1000)} {
+		got, err := decodeInt32s(encodeInt32s(xs))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", xs, err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("round trip of %d values returned %d", len(xs), len(got))
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("value %d: %d != %d", i, got[i], xs[i])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTripScalars(t *testing.T) {
+	for _, x := range []float64{0, 1.5, -1e300, 1e-300, math.Inf(1), math.Pi} {
+		got, err := decodeFloat64(encodeFloat64(x))
+		if err != nil || math.Float64bits(got) != math.Float64bits(x) {
+			t.Fatalf("float64 %v -> %v, err %v", x, got, err)
+		}
+	}
+	// NaN survives bit-exactly.
+	if got, err := decodeFloat64(encodeFloat64(math.NaN())); err != nil || !math.IsNaN(got) {
+		t.Fatalf("NaN -> %v, err %v", got, err)
+	}
+	for _, x := range []int64{0, -1, math.MaxInt64, math.MinInt64} {
+		got, err := decodeInt64(encodeInt64(x))
+		if err != nil || got != x {
+			t.Fatalf("int64 %d -> %d, err %v", x, got, err)
+		}
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	if _, err := decodeInt32s(nil); err == nil {
+		t.Error("empty int32 frame accepted")
+	}
+	// Declared count disagrees with actual length.
+	bad := encodeInt32s([]int32{1, 2, 3})
+	bad = bad[:len(bad)-4]
+	if _, err := decodeInt32s(bad); err == nil {
+		t.Error("truncated int32 frame accepted")
+	}
+	// Cross-type confusion must be detected, not reinterpreted.
+	if _, err := decodeFloat64(encodeInt64(7)); err == nil {
+		t.Error("int64 frame decoded as float64")
+	}
+	if _, err := decodeInt64(encodeFloat64(7)); err == nil {
+		t.Error("float64 frame decoded as int64")
+	}
+	if _, err := decodeInt32s(barrierFrame); err == nil {
+		t.Error("barrier frame decoded as int32 slice")
+	}
+	if err := checkBarrier(encodeInt64(1)); err == nil {
+		t.Error("int64 frame accepted as barrier token")
+	}
+}

@@ -1,0 +1,364 @@
+// Package net is the TCP implementation of dist.Transport: the wire
+// that turns the in-process simulation into a real multi-process
+// cluster (cmd/dsbp). Framing is a 4-byte big-endian length prefix per
+// frame; the frame bytes themselves are the typed encodings produced
+// by the dist collectives, so both transports ship identical payloads.
+//
+// Topology is a full mesh of one-directional connections: every rank
+// listens on its own address and dials every peer, so the connection
+// from rank f to rank t carries only f→t frames. Recv(from) reads the
+// dedicated inbound connection for `from` directly — no demultiplexer,
+// no reordering, and per-pair FIFO comes from TCP itself.
+//
+// Failure model: connection establishment retries with exponential
+// backoff plus seeded jitter (peers boot in any order); established
+// streams get per-operation send/recv deadlines, and any I/O error —
+// timeout, reset, short frame — surfaces as a failed Send/Recv, which
+// the collectives raise as a *dist.TransportError. There is no
+// transparent reconnect mid-phase: the bulk-synchronous protocol has no
+// way to resynchronise a half-lost sweep, so a broken wire fails the
+// phase loudly instead of corrupting it silently.
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	stdnet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+const (
+	// magic identifies a DSBP cluster handshake, version-tagged so
+	// incompatible builds refuse to pair instead of misreading frames.
+	magic uint32 = 0xD5B7_0001
+	// maxFrame bounds a frame declaration; anything larger is a
+	// corrupted or hostile length prefix, not a real payload.
+	maxFrame = 1 << 30
+)
+
+// Config describes one rank's endpoint of a TCP cluster.
+type Config struct {
+	Rank  int      // this rank's id in [0, len(Peers))
+	Peers []string // Peers[r] is rank r's listen address (host:port)
+
+	// Connection establishment. Zero values take the defaults.
+	DialTimeout  time.Duration // per attempt (default 2s)
+	DialAttempts int           // attempts per peer before giving up (default 60)
+	BackoffBase  time.Duration // first retry backoff (default 25ms)
+	BackoffMax   time.Duration // backoff ceiling (default 1s)
+	AcceptWait   time.Duration // total wait for inbound handshakes (default 30s)
+
+	// IOTimeout is the per-operation send/recv deadline once connected.
+	// Zero takes the 30s default; negative disables deadlines.
+	IOTimeout time.Duration
+
+	// Seed drives the backoff jitter (deterministic per rank).
+	Seed uint64
+
+	// FailFirstDials injects that many synthetic dial failures per peer
+	// before real dialing starts — the deterministic hook the backoff
+	// tests use.
+	FailFirstDials int
+
+	// Listener, when non-nil, is used instead of listening on
+	// Peers[Rank]. Tests use it to bind ephemeral ports before the peer
+	// address list is assembled.
+	Listener stdnet.Listener
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.DialAttempts == 0 {
+		cfg.DialAttempts = 60
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.AcceptWait == 0 {
+		cfg.AcceptWait = 30 * time.Second
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+}
+
+// Transport is a connected TCP endpoint implementing dist.Transport.
+type Transport struct {
+	rank      int
+	size      int
+	ioTimeout time.Duration
+	ln        stdnet.Listener
+	out       []stdnet.Conn // out[r]: this rank → r (sends)
+	in        []stdnet.Conn // in[r]: r → this rank (recvs)
+	bytes     atomic.Int64
+	retries   atomic.Int64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Dial establishes rank cfg.Rank's endpoint: it listens on its own
+// address, dials every peer with retry/backoff, and waits for every
+// peer's inbound connection. All ranks must call Dial within
+// AcceptWait of each other (they boot concurrently).
+func Dial(cfg Config) (*Transport, error) {
+	cfg.applyDefaults()
+	n := len(cfg.Peers)
+	if n < 1 {
+		return nil, errors.New("dist/net: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("dist/net: rank %d outside [0,%d)", cfg.Rank, n)
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = stdnet.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("dist/net: rank %d listen %s: %w", cfg.Rank, cfg.Peers[cfg.Rank], err)
+		}
+	}
+	t := &Transport{
+		rank:      cfg.Rank,
+		size:      n,
+		ioTimeout: cfg.IOTimeout,
+		ln:        ln,
+		out:       make([]stdnet.Conn, n),
+		in:        make([]stdnet.Conn, n),
+	}
+
+	// Accept the n-1 inbound connections in the background while we
+	// dial outbound, so no boot order deadlocks.
+	acceptDone := make(chan error, 1)
+	go func() { acceptDone <- t.acceptPeers(cfg) }()
+
+	if err := t.dialPeers(cfg); err != nil {
+		ln.Close() // unblock the accept loop before tearing down
+		<-acceptDone
+		t.Close()
+		return nil, err
+	}
+	if err := <-acceptDone; err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// acceptPeers collects one handshaked inbound connection per peer.
+func (t *Transport) acceptPeers(cfg Config) error {
+	deadline := time.Now().Add(cfg.AcceptWait)
+	seen := 0
+	for seen < t.size-1 {
+		if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist/net: rank %d accept (%d/%d peers connected): %w",
+				t.rank, seen, t.size-1, err)
+		}
+		from, err := readHandshake(conn, t.size, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("dist/net: rank %d handshake: %w", t.rank, err)
+		}
+		if from == t.rank || t.in[from] != nil {
+			conn.Close()
+			return fmt.Errorf("dist/net: rank %d got duplicate connection from rank %d", t.rank, from)
+		}
+		t.in[from] = conn
+		seen++
+	}
+	return nil
+}
+
+// dialPeers connects to every peer with retry, exponential backoff and
+// seeded jitter, then sends the identifying handshake.
+func (t *Transport) dialPeers(cfg Config) error {
+	jitter := rng.New(cfg.Seed ^ 0xD1A1<<16 ^ uint64(cfg.Rank))
+	for peer := 0; peer < t.size; peer++ {
+		if peer == t.rank {
+			continue
+		}
+		var conn stdnet.Conn
+		var lastErr error
+		backoff := cfg.BackoffBase
+		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+			if attempt > 0 {
+				// Full backoff plus up to 50% jitter so restarting
+				// ranks don't dial in lockstep.
+				sleep := backoff + time.Duration(jitter.Float64()*float64(backoff)/2)
+				time.Sleep(sleep)
+				if backoff *= 2; backoff > cfg.BackoffMax {
+					backoff = cfg.BackoffMax
+				}
+			}
+			if attempt < cfg.FailFirstDials {
+				lastErr = fmt.Errorf("injected dial fault %d/%d", attempt+1, cfg.FailFirstDials)
+				t.retries.Add(1)
+				continue
+			}
+			c, err := stdnet.DialTimeout("tcp", cfg.Peers[peer], cfg.DialTimeout)
+			if err != nil {
+				lastErr = err
+				t.retries.Add(1)
+				continue
+			}
+			conn = c
+			break
+		}
+		if conn == nil {
+			return fmt.Errorf("dist/net: rank %d dial rank %d (%s) after %d attempts: %w",
+				t.rank, peer, cfg.Peers[peer], cfg.DialAttempts, lastErr)
+		}
+		if tc, ok := conn.(*stdnet.TCPConn); ok {
+			tc.SetNoDelay(true) // collectives are latency-bound small frames
+		}
+		if err := writeHandshake(conn, t.size, t.rank, cfg.DialTimeout); err != nil {
+			conn.Close()
+			return fmt.Errorf("dist/net: rank %d handshake to rank %d: %w", t.rank, peer, err)
+		}
+		t.out[peer] = conn
+	}
+	return nil
+}
+
+// handshake layout: magic(4) | cluster size(4) | sender rank(4), big
+// endian like the frame length prefix.
+func writeHandshake(conn stdnet.Conn, size, rank int, timeout time.Duration) error {
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:], magic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(size))
+	binary.BigEndian.PutUint32(buf[8:], uint32(rank))
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHandshake(conn stdnet.Conn, size int, deadline time.Time) (int, error) {
+	var buf [12]byte
+	conn.SetReadDeadline(deadline)
+	defer conn.SetReadDeadline(time.Time{})
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, err
+	}
+	if got := binary.BigEndian.Uint32(buf[0:]); got != magic {
+		return 0, fmt.Errorf("bad magic %#08x (version mismatch?)", got)
+	}
+	if got := int(binary.BigEndian.Uint32(buf[4:])); got != size {
+		return 0, fmt.Errorf("peer believes cluster size is %d, ours is %d", got, size)
+	}
+	from := int(binary.BigEndian.Uint32(buf[8:]))
+	if from < 0 || from >= size {
+		return 0, fmt.Errorf("peer rank %d outside [0,%d)", from, size)
+	}
+	return from, nil
+}
+
+// Rank returns this endpoint's rank id.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size returns the cluster size.
+func (t *Transport) Size() int { return t.size }
+
+// TrafficBytes returns the wire bytes this rank has sent (frames plus
+// length prefixes).
+func (t *Transport) TrafficBytes() int64 { return t.bytes.Load() }
+
+// DialRetries returns how many dial attempts failed (and were retried)
+// during connection establishment.
+func (t *Transport) DialRetries() int64 { return t.retries.Load() }
+
+// Send writes one length-prefixed frame to rank `to`.
+func (t *Transport) Send(to int, frame []byte) error {
+	if to < 0 || to >= t.size || to == t.rank || t.out[to] == nil {
+		return fmt.Errorf("no outbound connection to rank %d", to)
+	}
+	if len(frame) > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit", len(frame))
+	}
+	conn := t.out[to]
+	if t.ioTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
+	}
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	t.bytes.Add(int64(len(buf)))
+	return nil
+}
+
+// Recv reads the next length-prefixed frame from rank `from`.
+func (t *Transport) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= t.size || from == t.rank || t.in[from] == nil {
+		return nil, fmt.Errorf("no inbound connection from rank %d", from)
+	}
+	conn := t.in[from]
+	if t.ioTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("frame declares %d bytes, over limit", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// Close shuts the endpoint down: listener first (no new peers), then
+// every connection. Callers quiesce the collectives (final barrier)
+// before closing, so in the orderly case all frames have been drained
+// and close is graceful on both sides.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		var first error
+		if t.ln != nil {
+			if err := t.ln.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, conn := range t.out {
+			if conn != nil {
+				if err := conn.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		for _, conn := range t.in {
+			if conn != nil {
+				if err := conn.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		t.closeErr = first
+	})
+	return t.closeErr
+}
+
+// compile-time interface check
+var _ dist.Transport = (*Transport)(nil)

@@ -1,0 +1,304 @@
+package net
+
+import (
+	"math"
+	stdnet "net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// loopbackCluster reserves n ephemeral loopback listeners and returns
+// one Config per rank wired to them.
+func loopbackCluster(t *testing.T, n int) []Config {
+	t.Helper()
+	listeners := make([]stdnet.Listener, n)
+	peers := make([]string, n)
+	for r := 0; r < n; r++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	cfgs := make([]Config, n)
+	for r := 0; r < n; r++ {
+		cfgs[r] = Config{Rank: r, Peers: peers, Listener: listeners[r], Seed: 1}
+	}
+	return cfgs
+}
+
+// runTCP dials every rank concurrently and runs body on each connected
+// Comm, closing the transports afterwards.
+func runTCP(t *testing.T, cfgs []Config, body func(comm *dist.Comm)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for r := range cfgs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := Dial(cfgs[r])
+			if err != nil {
+				t.Errorf("rank %d dial: %v", r, err)
+				return
+			}
+			defer tr.Close()
+			body(dist.NewComm(tr))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const ranks = 3
+	runTCP(t, loopbackCluster(t, ranks), func(comm *dist.Comm) {
+		comm.Barrier()
+		all := comm.AllGatherInt32([]int32{int32(comm.Rank()), int32(comm.Rank() * 7)})
+		for r := 0; r < ranks; r++ {
+			if all[r][0] != int32(r) || all[r][1] != int32(r*7) {
+				t.Errorf("rank %d: bad segment from %d: %v", comm.Rank(), r, all[r])
+			}
+		}
+		sum := comm.AllReduceFloat64(float64(comm.Rank()+1), func(a, b float64) float64 { return a + b })
+		if sum != 6 {
+			t.Errorf("rank %d: sum %v", comm.Rank(), sum)
+		}
+		max := comm.AllReduceInt64(int64(comm.Rank()), func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if max != ranks-1 {
+			t.Errorf("rank %d: max %v", comm.Rank(), max)
+		}
+		comm.Barrier()
+		if comm.SentBytes() == 0 {
+			t.Errorf("rank %d: no bytes accounted", comm.Rank())
+		}
+	})
+}
+
+func TestTCPAllReduceAgreesAcrossRanks(t *testing.T) {
+	vals := []float64{1e16, 3.14159, -1e16, 1e-8, 2.5e15, -2.5e15, -7.25, 1e3}
+	ranks := len(vals)
+	got := make([]uint64, ranks)
+	runTCP(t, loopbackCluster(t, ranks), func(comm *dist.Comm) {
+		s := comm.AllReduceFloat64(vals[comm.Rank()], func(a, b float64) float64 { return a + b })
+		got[comm.Rank()] = math.Float64bits(s)
+		comm.Barrier()
+	})
+	for r := 1; r < ranks; r++ {
+		if got[r] != got[0] {
+			t.Fatalf("rank %d sum bits %016x differ from rank 0's %016x", r, got[r], got[0])
+		}
+	}
+}
+
+// tcpModel mirrors distModel in the dist package tests: a structured
+// graph perturbed away from truth so the phase has real work to do.
+func tcpModel(t *testing.T, seed uint64) (*blockmodel.Blockmodel, []int32) {
+	t.Helper()
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "tcp", Vertices: 160, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	perturbed := append([]int32(nil), truth...)
+	for v := range perturbed {
+		if r.Float64() < 0.3 {
+			perturbed[v] = int32(r.Intn(4))
+		}
+	}
+	bm, err := blockmodel.FromAssignment(g, perturbed, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm, truth
+}
+
+// The acceptance gate: the distributed phase over loopback TCP must
+// produce bit-identical final membership and MDL to the in-process
+// channel transport at the same seed, for both modes — proof the two
+// transports really share one protocol.
+func TestTCPPhaseMatchesInProcess(t *testing.T) {
+	for _, mode := range []dist.Mode{dist.ModeAsync, dist.ModeHybrid} {
+		const ranks = 3
+		cfg := dist.DefaultConfig()
+		cfg.Ranks = ranks
+		cfg.MaxSweeps = 20
+
+		// In-process reference run.
+		ref, _ := tcpModel(t, 41)
+		refSt, err := dist.RunMCMCPhase(ref, mode, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Same phase as a "multi-process" TCP cluster: each rank owns a
+		// private blockmodel replica and speaks only TCP.
+		bm, _ := tcpModel(t, 41)
+		memberships := make([][]int32, ranks)
+		stats := make([]dist.RankStats, ranks)
+		runTCP(t, loopbackCluster(t, ranks), func(comm *dist.Comm) {
+			r := comm.Rank()
+			m := append([]int32(nil), bm.Assignment...)
+			st, err := dist.RunRank(comm, bm.G, m, bm.C, mode, cfg)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			memberships[r] = m
+			stats[r] = st
+		})
+		if t.Failed() {
+			t.Fatalf("%v: TCP phase failed", mode)
+		}
+
+		for r := 0; r < ranks; r++ {
+			if stats[r].FinalS != refSt.FinalS {
+				t.Fatalf("%v rank %d: TCP final MDL %v != in-process %v", mode, r, stats[r].FinalS, refSt.FinalS)
+			}
+			if stats[r].Sweeps != refSt.Sweeps {
+				t.Fatalf("%v rank %d: TCP sweeps %d != in-process %d", mode, r, stats[r].Sweeps, refSt.Sweeps)
+			}
+			for v := range memberships[r] {
+				if memberships[r][v] != ref.Assignment[v] {
+					t.Fatalf("%v rank %d: membership diverged at vertex %d", mode, r, v)
+				}
+			}
+		}
+	}
+}
+
+// The fault plan must drive the dial retry/backoff path: with the
+// first dials failing synthetically, connection establishment still
+// succeeds and records the retries.
+func TestTCPDialRetryBackoff(t *testing.T) {
+	const ranks = 2
+	cfgs := loopbackCluster(t, ranks)
+	for r := range cfgs {
+		cfgs[r].FailFirstDials = 3
+		cfgs[r].BackoffBase = time.Millisecond
+		cfgs[r].BackoffMax = 4 * time.Millisecond
+	}
+	retries := make([]int64, ranks)
+	runTCP(t, cfgs, func(comm *dist.Comm) {
+		comm.Barrier()
+		retries[comm.Rank()] = comm.Transport().(*Transport).DialRetries()
+	})
+	for r, got := range retries {
+		if got != 3 {
+			t.Fatalf("rank %d recorded %d dial retries, want 3", r, got)
+		}
+	}
+}
+
+// A rank that dials a dead address must give up with a clear error
+// after its attempt budget, not hang.
+func TestTCPDialGivesUp(t *testing.T) {
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nobody listening here any more
+	_, err = Dial(Config{
+		Rank:         0,
+		Peers:        []string{"127.0.0.1:0", dead},
+		DialAttempts: 3,
+		DialTimeout:  200 * time.Millisecond,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   2 * time.Millisecond,
+		AcceptWait:   2 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("dial to dead peer: %v", err)
+	}
+}
+
+// Recv against a silent peer must respect the IO deadline and surface
+// a timeout instead of blocking forever.
+func TestTCPRecvTimeout(t *testing.T) {
+	const ranks = 2
+	cfgs := loopbackCluster(t, ranks)
+	for r := range cfgs {
+		cfgs[r].IOTimeout = 150 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := Dial(cfgs[r])
+			if err != nil {
+				t.Errorf("rank %d dial: %v", r, err)
+				return
+			}
+			defer tr.Close()
+			if r == 0 {
+				_, err := tr.Recv(1) // rank 1 never sends
+				errCh <- err
+			} else {
+				time.Sleep(400 * time.Millisecond) // stay alive, stay silent
+			}
+		}(r)
+	}
+	wg.Wait()
+	err := <-errCh
+	ne, ok := err.(stdnet.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("recv from silent peer: %v, want timeout", err)
+	}
+}
+
+// Config validation and handshake rejection paths.
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := Dial(Config{Rank: 0}); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := Dial(Config{Rank: 2, Peers: []string{"a", "b"}}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		// A handshake from a 5-rank cluster arrives at a 2-rank one.
+		done <- writeHandshake(conn, 5, 0, time.Second)
+	}()
+	conn, err := stdnet.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHandshake(conn, 2, time.Now().Add(time.Second)); err == nil {
+		t.Fatal("mismatched cluster size accepted")
+	}
+}

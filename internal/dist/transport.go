@@ -1,0 +1,49 @@
+package dist
+
+import "fmt"
+
+// Transport is the point-to-point substrate a Comm's collectives run
+// on: reliable, in-order delivery of framed byte payloads between
+// ranks. Two implementations exist — the in-process channel Cluster in
+// this package and the TCP transport in internal/dist/net — and both
+// run the exact same collective code in Comm, so the simulation
+// exercises the production wire paths bit-for-bit.
+//
+// Ownership rules match a real wire: the frame passed to Send is
+// copied (or fully written) before Send returns, so the caller may
+// reuse its buffer immediately; the slice returned by Recv is owned by
+// the caller and never aliases transport-internal or sender memory.
+//
+// A Transport endpoint is used by a single rank goroutine at a time;
+// implementations need not be safe for concurrent Send/Recv on the
+// same endpoint.
+type Transport interface {
+	// Rank returns this endpoint's rank id in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the cluster.
+	Size() int
+	// Send delivers one frame to rank `to`. It must not be called with
+	// to == Rank().
+	Send(to int, frame []byte) error
+	// Recv blocks for the next frame from rank `from`, in sender order.
+	Recv(from int) ([]byte, error)
+	// Close releases transport resources. Collectives must be quiesced
+	// (e.g. via a final Barrier) before closing, as on a real cluster.
+	Close() error
+}
+
+// TransportError is the typed failure a Comm collective raises (via
+// panic, re-raised by Cluster.Run or converted to an error by RunRank)
+// when the underlying transport fails mid-collective.
+type TransportError struct {
+	Op   string // "send" or "recv"
+	Rank int    // local rank
+	Peer int    // remote rank
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("dist: rank %d %s (peer %d): %v", e.Rank, e.Op, e.Peer, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }

@@ -14,9 +14,11 @@ import (
 func (c Config) FigDistributed() (*Table, error) {
 	t := &Table{
 		Title:   "Future work (distributed): MCMC phase quality vs communication",
-		Columns: []string{"ranks", "mode", "sweeps", "NMI", "traffic (kB)"},
+		Columns: []string{"ranks", "mode", "sweeps", "NMI", "traffic (kB)", "comm/sweep (ms)"},
 		Notes: []string{
-			"bulk-synchronous ranks with replica blockmodels; traffic = membership allgather volume",
+			"bulk-synchronous ranks with replica blockmodels; traffic = frame bytes of the",
+			"per-sweep membership allgather + MDL agreement allreduce; comm/sweep = rank 0's",
+			"wall time inside collectives (the wire cost a TCP deployment pays per sweep)",
 		},
 	}
 	v := int(1200 * (c.Scale / 0.005))
@@ -52,7 +54,8 @@ func (c Config) FigDistributed() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(ranks, mode.String(), st.Sweeps, nmi, float64(st.TrafficBytes)/1024)
+			t.AddRow(ranks, mode.String(), st.Sweeps, nmi, float64(st.TrafficBytes)/1024,
+				float64(st.CommPerSweep().Microseconds())/1000)
 		}
 	}
 	return t, nil
