@@ -26,6 +26,7 @@ import (
 	"repro/internal/dist"
 	distnet "repro/internal/dist/net"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -46,6 +47,8 @@ func main() {
 		ioTimeout   = flag.Duration("io-timeout", 30*time.Second, "per-message send/recv deadline")
 		acceptWait  = flag.Duration("accept-wait", 30*time.Second, "how long to wait for peers to boot")
 		verbose     = flag.Bool("v", false, "log connection and phase progress to stderr")
+		obsAddr     = flag.String("obs", "", "serve this rank's live telemetry on this address: Prometheus /metrics (wire and sweep counters under this rank's label), /debug/vars, /debug/pprof")
+		tracePath   = flag.String("trace", "", "write this rank's structured JSONL trace events to this file")
 	)
 	flag.Parse()
 	if err := run(rankArgs{
@@ -53,7 +56,7 @@ func main() {
 		communities: *communities, mode: *mode, partition: *partition,
 		seed: *seed, maxSweeps: *maxSweeps, threshold: *threshold, beta: *beta,
 		hybridFrac: *hybridFrac, ioTimeout: *ioTimeout, acceptWait: *acceptWait,
-		verbose: *verbose,
+		verbose: *verbose, obsAddr: *obsAddr, tracePath: *tracePath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dsbp:", err)
 		os.Exit(1)
@@ -71,6 +74,7 @@ type rankArgs struct {
 	hybridFrac            float64
 	ioTimeout, acceptWait time.Duration
 	verbose               bool
+	obsAddr, tracePath    string
 }
 
 func run(a rankArgs) error {
@@ -124,6 +128,34 @@ func run(a rankArgs) error {
 	}
 	logf("graph %s: %d vertices, %d edges", a.graphPath, g.NumVertices(), g.NumEdges())
 
+	// Per-process telemetry: each rank serves its own registry, with the
+	// rank label distinguishing the series when a scraper aggregates the
+	// cluster.
+	var telemetry obs.Obs
+	if a.obsAddr != "" {
+		reg := obs.NewRegistry()
+		telemetry.Metrics = reg
+		_, bound, err := obs.Serve(a.obsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("telemetry server: %w", err)
+		}
+		logf("telemetry listening on http://%s/metrics", bound)
+	}
+	if a.tracePath != "" {
+		f, err := os.Create(a.tracePath)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewJSONLSink(f)
+		telemetry.Tracer = obs.NewTracer(sink)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsbp rank %d: trace sink: %v\n", a.rank, err)
+			}
+			f.Close()
+		}()
+	}
+
 	// Every rank derives the same starting membership from the shared
 	// seed, so no coordination is needed to agree on the initial state.
 	init := rng.New(a.seed ^ 0xD5B9_1217)
@@ -140,6 +172,7 @@ func run(a rankArgs) error {
 		IOTimeout:  a.ioTimeout,
 		AcceptWait: a.acceptWait,
 		Seed:       a.seed,
+		Obs:        telemetry,
 	})
 	if err != nil {
 		return err
@@ -155,6 +188,7 @@ func run(a rankArgs) error {
 		HybridFraction: a.hybridFrac,
 		Partition:      p,
 		Seed:           a.seed,
+		Obs:            telemetry,
 	}
 	comm := dist.NewComm(tr)
 	st, err := dist.RunRank(comm, g, membership, a.communities, m, cfg)

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/mcmc"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,9 +42,20 @@ func main() {
 		runs    = flag.Int("runs", cfg.Runs, "runs per (graph, algorithm); best MDL kept (paper: 5)")
 		threads = flag.Int("threads", cfg.Threads, "thread count for modelled speedups (paper: 128)")
 		seed    = flag.Uint64("seed", cfg.Seed, "random seed")
+		obsAddr = flag.String("obs", "", "serve live telemetry while the suite runs: Prometheus /metrics, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 	cfg.Scale, cfg.RealScale, cfg.Runs, cfg.Threads, cfg.Seed = *scale, *rscale, *runs, *threads, *seed
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Obs.Metrics = reg
+		_, bound, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry server: %v", err)
+		}
+		log.Printf("telemetry listening on http://%s/metrics", bound)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

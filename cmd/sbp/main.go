@@ -15,8 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"runtime/pprof"
 	"time"
@@ -26,11 +24,15 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sbp"
 )
 
-// Live counters served on the -pprof address under /debug/vars,
-// updated after every outer iteration.
+// Live counters served on the -obs address under /debug/vars,
+// updated after every outer iteration. These coarse process-level
+// expvars predate the internal/obs registry (which serves richer
+// engine-labeled series on /metrics) and are kept for scripts that
+// scrape /debug/vars.
 var (
 	evIterations   = expvar.NewInt("sbp_iterations")
 	evSweeps       = expvar.NewInt("sbp_sweeps")
@@ -58,19 +60,43 @@ func main() {
 		partition = flag.String("partition", "degree", "async work partition: degree (balance total degree) or static (equal vertex counts)")
 		verify    = flag.Bool("verify", false, "cross-check every incremental ΔMDL/Hastings value and all blockmodel invariants against the dense oracle (orders of magnitude slower; small graphs only)")
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		obsAddr   = flag.String("obs", "", "serve live telemetry on this address (e.g. localhost:6060): Prometheus /metrics, /debug/vars, /debug/pprof")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -obs")
+		tracePath = flag.String("trace", "", "write structured JSONL trace events (run/iteration/mcmc spans, per-sweep events) to this file")
 	)
 	flag.Parse()
 	if *vv {
 		*verbose = true
 	}
+	if *obsAddr == "" {
+		*obsAddr = *pprofAddr
+	}
 
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("pprof/expvar listening on http://%s/debug/pprof", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
+	// Live telemetry: one registry per process, exposed over HTTP when
+	// -obs is set; one tracer when -trace is set. Both are inert (zero
+	// Obs) otherwise and cost the engines nothing.
+	var telemetry obs.Obs
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		telemetry.Metrics = reg
+		_, bound, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry server: %v", err)
+		}
+		log.Printf("telemetry listening on http://%s/metrics (also /debug/vars, /debug/pprof)", bound)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink := obs.NewJSONLSink(f)
+		telemetry.Tracer = obs.NewTracer(sink)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				log.Printf("trace sink: %v", err)
 			}
+			f.Close()
 		}()
 	}
 
@@ -128,6 +154,7 @@ func main() {
 		opts.MCMC.HybridFraction = *fraction
 		opts.MCMC.Partition = part
 		opts.Verify = *verify
+		opts.Obs = telemetry
 		opts.Progress = func(it sbp.IterationStats) {
 			evIterations.Add(1)
 			evSweeps.Add(int64(it.MCMC.Sweeps))

@@ -27,9 +27,12 @@ package dist
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Cluster is the in-process Transport implementation: a set of ranks
@@ -111,12 +114,14 @@ func (t *chanTransport) Recv(from int) ([]byte, error) {
 func (t *chanTransport) Close() error { return nil }
 
 // Comm is one rank's collective endpoint over a Transport. It is used
-// by a single rank goroutine; the traffic and timing counters are
-// rank-local.
+// by a single rank goroutine. Its traffic and timing accumulators are
+// obs instruments so that SentBytes/CommTime (the post-hoc RankStats
+// accounting) and a live registry (Register) are views over the same
+// counters and cannot drift apart.
 type Comm struct {
-	t        Transport
-	sent     int64
-	commTime time.Duration
+	t      Transport
+	sent   obs.Counter // frame bytes sent by this rank
+	commNS obs.Counter // wall nanoseconds inside collectives
 }
 
 // NewComm wraps a transport endpoint with the collectives.
@@ -132,17 +137,31 @@ func (c *Comm) Size() int { return c.t.Size() }
 func (c *Comm) Transport() Transport { return c.t }
 
 // SentBytes returns the frame bytes this rank has sent.
-func (c *Comm) SentBytes() int64 { return c.sent }
+func (c *Comm) SentBytes() int64 { return c.sent.Value() }
 
 // CommTime returns the total wall time this rank has spent inside
 // collectives (blocked on the wire or encoding/decoding).
-func (c *Comm) CommTime() time.Duration { return c.commTime }
+func (c *Comm) CommTime() time.Duration { return time.Duration(c.commNS.Value()) }
+
+// Register exposes this endpoint's traffic counters in o's metrics
+// registry under per-rank labels. The registry series and the
+// SentBytes/CommTime accessors read the same underlying counters.
+// No-op when o carries no registry.
+func (c *Comm) Register(o obs.Obs) {
+	reg := o.Metrics
+	if reg == nil {
+		return
+	}
+	rank := obs.L("rank", strconv.Itoa(c.t.Rank()))
+	reg.RegisterCounter("dist_sent_bytes_total", "collective frame bytes sent per rank", &c.sent, rank)
+	reg.RegisterCounter("dist_comm_ns_total", "wall nanoseconds inside collectives per rank", &c.commNS, rank)
+}
 
 // send delivers a frame, raising a *TransportError panic on failure so
 // algorithm code stays free of per-call error plumbing; Cluster.Run
 // re-raises it and RunRank converts it to an error.
 func (c *Comm) send(to int, frame []byte) {
-	c.sent += int64(len(frame))
+	c.sent.Add(int64(len(frame)))
 	if err := c.t.Send(to, frame); err != nil {
 		panic(&TransportError{Op: "send", Rank: c.t.Rank(), Peer: to, Err: err})
 	}
@@ -160,7 +179,7 @@ func (c *Comm) recv(from int) []byte {
 // timed accumulates collective wall time; use as `defer c.timed()()`.
 func (c *Comm) timed() func() {
 	start := time.Now()
-	return func() { c.commTime += time.Since(start) }
+	return func() { c.commNS.Add(time.Since(start).Nanoseconds()) }
 }
 
 // Barrier blocks until every rank has entered the barrier. Implemented

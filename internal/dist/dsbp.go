@@ -3,10 +3,12 @@ package dist
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/blockmodel"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -88,6 +90,14 @@ type Config struct {
 	// before the phase runs (in-process clusters only) — the hook the
 	// fault-injection tests use to make every wire flaky.
 	WrapTransport func(Transport) Transport
+
+	// Obs carries the run's telemetry handles. RunRank registers the
+	// comm traffic counters under per-rank labels, publishes per-rank
+	// sweep counters and opens one span per rank. Telemetry never
+	// touches the RNG streams, so results are bit-identical with it on
+	// or off. Under cmd/dsbp every process holds its own registry, so
+	// rank labels also identify the process.
+	Obs obs.Obs
 }
 
 // DefaultConfig mirrors the shared-memory defaults on 4 ranks.
@@ -235,6 +245,27 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 	r := comm.Rank()
 	st.Rank = r
 
+	// Per-rank telemetry: the comm's traffic counters join the registry
+	// under this rank's label, sweep progress gets its own series, and
+	// the whole rank body runs under one span. All of it is a no-op
+	// when cfg.Obs is zero.
+	comm.Register(cfg.Obs)
+	rl := obs.L("rank", strconv.Itoa(r))
+	reg := cfg.Obs.Metrics
+	cSweeps := reg.Counter("dist_sweeps_total", "distributed MCMC sweeps per rank", rl)
+	cProps := reg.Counter("dist_proposals_total", "move proposals evaluated per rank", rl)
+	cAccs := reg.Counter("dist_accepts_total", "move proposals accepted per rank", rl)
+	span := cfg.Obs.StartSpan("rank",
+		obs.F("rank", r), obs.F("ranks", ranks), obs.F("mode", mode.String()))
+	defer func() {
+		if span != nil {
+			span.End(obs.F("sweeps", st.Sweeps), obs.F("mdl", st.FinalS),
+				obs.F("sent_bytes", comm.SentBytes()),
+				obs.F("comm_ns", int64(comm.CommTime())),
+				obs.F("converged", st.Converged))
+		}
+	}()
+
 	// Every rank derives the same split and the same per-rank RNG
 	// streams from the shared seed; rank r keeps only its own stream.
 	ranges := PartitionRanges(g, ranks, cfg.Partition)
@@ -272,6 +303,7 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 	st.FinalS = st.InitialS
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		sweepProps, sweepAccs := st.Proposals, st.Accepts
 		// Hybrid: rank 0 leads the serial pass over V*, then the
 		// resulting V* assignments travel with its segment gather
 		// below (V* moves overwrite the stale values everywhere).
@@ -338,6 +370,9 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 		}
 		replica.RebuildFrom(assembled, 1)
 		st.Sweeps++
+		cSweeps.Inc()
+		cProps.Add(st.Proposals - sweepProps)
+		cAccs.Add(st.Accepts - sweepAccs)
 
 		// Agree on the sweep's MDL. The canonical-order allreduce makes
 		// the value bit-identical on every rank, so the convergence
@@ -350,6 +385,11 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 			return st, fmt.Errorf("dist: rank %d replica diverged at sweep %d (local MDL %v)", r, sweep, local)
 		}
 		st.FinalS = cur
+		if span != nil {
+			span.Event("sweep", obs.F("sweep", sweep), obs.F("mdl", cur),
+				obs.F("proposals", st.Proposals-sweepProps),
+				obs.F("accepts", st.Accepts-sweepAccs))
+		}
 		if math.Abs(prev-cur) <= cfg.Threshold*math.Abs(cur) {
 			st.Converged = true
 			break

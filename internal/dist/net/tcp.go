@@ -26,11 +26,12 @@ import (
 	"fmt"
 	"io"
 	stdnet "net"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// Peers[Rank]. Tests use it to bind ephemeral ports before the peer
 	// address list is assembled.
 	Listener stdnet.Listener
+
+	// Obs carries the process's telemetry handles. Dial registers the
+	// endpoint's wire counters (tx bytes/frames, dial retries, deadline
+	// hits) in the metrics registry under this rank's label; the
+	// TrafficBytes/DialRetries accessors read the same counters.
+	Obs obs.Obs
 }
 
 func (cfg *Config) applyDefaults() {
@@ -95,6 +102,8 @@ func (cfg *Config) applyDefaults() {
 }
 
 // Transport is a connected TCP endpoint implementing dist.Transport.
+// The wire accumulators are obs counters so the accessor methods and a
+// live metrics registry (Config.Obs) are views over the same state.
 type Transport struct {
 	rank      int
 	size      int
@@ -102,8 +111,10 @@ type Transport struct {
 	ln        stdnet.Listener
 	out       []stdnet.Conn // out[r]: this rank → r (sends)
 	in        []stdnet.Conn // in[r]: r → this rank (recvs)
-	bytes     atomic.Int64
-	retries   atomic.Int64
+	bytes     obs.Counter   // wire bytes sent (frames + length prefixes)
+	frames    obs.Counter   // frames sent
+	retries   obs.Counter   // failed dial attempts
+	deadline  obs.Counter   // send/recv operations lost to an I/O deadline
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -137,6 +148,17 @@ func Dial(cfg Config) (*Transport, error) {
 		ln:        ln,
 		out:       make([]stdnet.Conn, n),
 		in:        make([]stdnet.Conn, n),
+	}
+	if reg := cfg.Obs.Metrics; reg != nil {
+		rank := obs.L("rank", strconv.Itoa(cfg.Rank))
+		reg.RegisterCounter("dist_net_tx_bytes_total",
+			"TCP wire bytes sent (frames plus length prefixes)", &t.bytes, rank)
+		reg.RegisterCounter("dist_net_tx_frames_total",
+			"TCP frames sent", &t.frames, rank)
+		reg.RegisterCounter("dist_net_dial_retries_total",
+			"failed dial attempts during connection establishment", &t.retries, rank)
+		reg.RegisterCounter("dist_net_deadline_hits_total",
+			"send/recv operations that hit their I/O deadline", &t.deadline, rank)
 	}
 
 	// Accept the n-1 inbound connections in the background while we
@@ -208,13 +230,13 @@ func (t *Transport) dialPeers(cfg Config) error {
 			}
 			if attempt < cfg.FailFirstDials {
 				lastErr = fmt.Errorf("injected dial fault %d/%d", attempt+1, cfg.FailFirstDials)
-				t.retries.Add(1)
+				t.retries.Inc()
 				continue
 			}
 			c, err := stdnet.DialTimeout("tcp", cfg.Peers[peer], cfg.DialTimeout)
 			if err != nil {
 				lastErr = err
-				t.retries.Add(1)
+				t.retries.Inc()
 				continue
 			}
 			conn = c
@@ -277,11 +299,25 @@ func (t *Transport) Size() int { return t.size }
 
 // TrafficBytes returns the wire bytes this rank has sent (frames plus
 // length prefixes).
-func (t *Transport) TrafficBytes() int64 { return t.bytes.Load() }
+func (t *Transport) TrafficBytes() int64 { return t.bytes.Value() }
 
 // DialRetries returns how many dial attempts failed (and were retried)
 // during connection establishment.
-func (t *Transport) DialRetries() int64 { return t.retries.Load() }
+func (t *Transport) DialRetries() int64 { return t.retries.Value() }
+
+// DeadlineHits returns how many send/recv operations failed on their
+// per-operation I/O deadline.
+func (t *Transport) DeadlineHits() int64 { return t.deadline.Value() }
+
+// countTimeout classifies an I/O error, bumping the deadline counter
+// when the failure was a per-operation timeout.
+func (t *Transport) countTimeout(err error) error {
+	var ne stdnet.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.deadline.Inc()
+	}
+	return err
+}
 
 // Send writes one length-prefixed frame to rank `to`.
 func (t *Transport) Send(to int, frame []byte) error {
@@ -299,9 +335,10 @@ func (t *Transport) Send(to int, frame []byte) error {
 	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
 	copy(buf[4:], frame)
 	if _, err := conn.Write(buf); err != nil {
-		return err
+		return t.countTimeout(err)
 	}
 	t.bytes.Add(int64(len(buf)))
+	t.frames.Inc()
 	return nil
 }
 
@@ -316,7 +353,7 @@ func (t *Transport) Recv(from int) ([]byte, error) {
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
+		return nil, t.countTimeout(err)
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > maxFrame {
@@ -324,7 +361,7 @@ func (t *Transport) Recv(from int) ([]byte, error) {
 	}
 	frame := make([]byte, size)
 	if _, err := io.ReadFull(conn, frame); err != nil {
-		return nil, err
+		return nil, t.countTimeout(err)
 	}
 	return frame, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sbp"
 )
@@ -37,6 +38,11 @@ type Config struct {
 
 	// Seed anchors all dataset generation and algorithm randomness.
 	Seed uint64
+
+	// Obs carries the suite's telemetry handles; every sbp run the
+	// harness launches inherits them. The zero value disables all
+	// instrumentation.
+	Obs obs.Obs
 }
 
 // Default returns the configuration used by `cmd/experiments` without
@@ -51,7 +57,23 @@ func (c Config) options(alg mcmc.Algorithm, seed uint64) sbp.Options {
 	opts.Seed = seed
 	opts.MCMC.Workers = c.Workers
 	opts.Merge.Workers = c.Workers
+	opts.Obs = c.Obs
 	return opts
+}
+
+// nmiOr computes NMI between the ground truth and a detected
+// assignment, or returns fallback when no truth exists (or the metric
+// fails). All harness JSON uses the same -1 sentinel through this
+// helper.
+func nmiOr(truth, assignment []int32, fallback float64) float64 {
+	if truth == nil {
+		return fallback
+	}
+	nmi, err := metrics.NMI(truth, assignment)
+	if err != nil {
+		return fallback
+	}
+	return nmi
 }
 
 // RunOutcome aggregates the best-of-N protocol for one (graph,
@@ -86,11 +108,7 @@ func (c Config) BestOf(name string, g *graph.Graph, truth []int32, alg mcmc.Algo
 			out.Best = res
 		}
 	}
-	if truth != nil {
-		if nmi, err := metrics.NMI(truth, out.Best.Best.Assignment); err == nil {
-			out.NMI = nmi
-		}
-	}
+	out.NMI = nmiOr(truth, out.Best.Best.Assignment, -1)
 	if q, err := metrics.Modularity(g, out.Best.Best.Assignment); err == nil {
 		out.Mod = q
 	}

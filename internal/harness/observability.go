@@ -2,7 +2,6 @@ package harness
 
 import (
 	"repro/internal/mcmc"
-	"repro/internal/metrics"
 	"repro/internal/sbp"
 )
 
@@ -32,6 +31,7 @@ type IterationTrace struct {
 	MDL          float64            `json:"mdl"`
 	MergeMS      float64            `json:"merge_ms"`
 	MCMCMS       float64            `json:"mcmc_ms"`
+	SweepCount   int                `json:"sweep_count"`
 	Sweeps       []mcmc.SweepRecord `json:"sweeps"`
 }
 
@@ -54,13 +54,10 @@ func (c Config) SweepTraces() ([]SweepTrace, error) {
 			MDL:           res.MDL,
 			NormalizedMDL: res.NormalizedMDL,
 			Communities:   res.NumCommunities,
-			NMI:           -1,
+			NMI:           nmiOr(truth, res.Best.Assignment, -1),
 			MaxImbalance:  res.MaxImbalance,
 			MeanImbalance: res.MeanImbalance,
 			TotalSweeps:   res.TotalMCMCSweeps,
-		}
-		if nmi, err := metrics.NMI(truth, res.Best.Assignment); err == nil {
-			tr.NMI = nmi
 		}
 		for _, it := range res.Iterations {
 			tr.Iterations = append(tr.Iterations, IterationTrace{
@@ -69,6 +66,7 @@ func (c Config) SweepTraces() ([]SweepTrace, error) {
 				MDL:          it.MDL,
 				MergeMS:      float64(it.MergeTime.Microseconds()) / 1000,
 				MCMCMS:       float64(it.MCMCTime.Microseconds()) / 1000,
+				SweepCount:   it.MCMC.Sweeps,
 				Sweeps:       it.MCMC.PerSweep,
 			})
 		}

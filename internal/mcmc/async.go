@@ -49,7 +49,7 @@ func newPassPlan(bm *blockmodel.Blockmodel, vertices []int32, workers int, strat
 // parallel against the blockmodel from the end of the previous sweep
 // ("at most one iteration stale", §3.1), records accepted moves in a
 // private membership vector, then rebuilds the blockmodel in parallel.
-func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: AsyncGibbs, InitialS: bm.MDL()}
 	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
@@ -59,20 +59,15 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	plan := newPassPlan(bm, nil, workers, cfg.Partition)
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, len(plan.ranges))}
-		p0, a0 := st.Proposals, st.Accepts
-		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
-		rebuild(bm, next, cfg.Workers, &st, &rec)
+		sp := po.sweep(sweep, len(plan.ranges), &st)
+		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+		rebuild(bm, next, cfg.Workers, &st, sp)
 		st.Sweeps++
 		if cfg.Verify {
 			check.MustInvariants(bm, "async post-sweep invariants")
 		}
 		cur := bm.MDL()
-		rec.MDL = cur
-		rec.Proposals = st.Proposals - p0
-		rec.Accepts = st.Accepts - a0
-		rec.finish()
-		st.PerSweep = append(st.PerSweep, rec)
+		st.PerSweep = append(st.PerSweep, sp.finish(&st, cur))
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur
@@ -91,9 +86,9 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 //
 // next must already hold the membership the pass should start from
 // (the caller copies bm.Assignment or carries the vector forward).
-// Per-worker busy times accumulate into rec.WorkerNS, which must be at
-// least len(plan.ranges) long.
-func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Config, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats, rec *SweepRecord) {
+// Per-worker busy times feed the sweep probe, whose record must be at
+// least len(plan.ranges) wide.
+func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Config, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats, sp *sweepProbe) {
 	copy(next, bm.Assignment)
 	var proposals, accepts atomic.Int64
 	workTimes := make([]float64, len(plan.ranges))
@@ -139,23 +134,18 @@ func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Confi
 	})
 	st.Proposals += proposals.Load()
 	st.Accepts += accepts.Load()
-	var total float64
-	for w, t := range workTimes {
-		total += t
-		rec.WorkerNS[w] += t
-	}
-	st.Cost.AddParallel(total)
+	st.Cost.AddParallel(sp.pass(workTimes))
 }
 
 // rebuild reconstructs the blockmodel from the updated membership in
 // parallel and charges the work to the parallel account (the paper notes
 // the rebuild overhead "can be reduced by performing the reconstruction
 // of B in parallel").
-func rebuild(bm *blockmodel.Blockmodel, next []int32, workers int, st *Stats, rec *SweepRecord) {
+func rebuild(bm *blockmodel.Blockmodel, next []int32, workers int, st *Stats, sp *sweepProbe) {
 	start := time.Now()
 	bm.RebuildFrom(next, workers)
 	ns := float64(time.Since(start).Nanoseconds())
-	rec.RebuildNS += ns
+	sp.rebuild(ns)
 	st.Cost.AddParallel(ns)
 }
 

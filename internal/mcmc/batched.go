@@ -19,7 +19,7 @@ import (
 // Batches = 1 degenerates to A-SBP; Batches = V would be the serial
 // chain (with rebuild overhead). The staleness ablation benchmark
 // sweeps this knob.
-func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: BatchedGibbs, InitialS: bm.MDL()}
 	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
@@ -57,11 +57,10 @@ func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
 		// Batches may partition into fewer ranges than workers; size the
 		// record for the widest batch so worker ids index it directly.
-		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, workers)}
-		p0, a0 := st.Proposals, st.Accepts
+		sp := po.sweep(sweep, workers, &st)
 		for _, plan := range plans {
-			asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
-			rebuild(bm, next, cfg.Workers, &st, &rec)
+			asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+			rebuild(bm, next, cfg.Workers, &st, sp)
 			if cfg.Verify {
 				// Per-batch, not just per-sweep: a corrupted mid-sweep
 				// rebuild is caught before the next batch consumes it.
@@ -70,11 +69,7 @@ func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		}
 		st.Sweeps++
 		cur := bm.MDL()
-		rec.MDL = cur
-		rec.Proposals = st.Proposals - p0
-		rec.Accepts = st.Accepts - a0
-		rec.finish()
-		st.PerSweep = append(st.PerSweep, rec)
+		st.PerSweep = append(st.PerSweep, sp.finish(&st, cur))
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur

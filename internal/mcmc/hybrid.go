@@ -17,7 +17,7 @@ import (
 // communities first" — and the remainder (V⁻) with one asynchronous
 // Gibbs pass evaluated against the blockmodel that already includes the
 // V* moves. The blockmodel is then rebuilt from the combined membership.
-func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: Hybrid, InitialS: bm.MDL()}
 	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
@@ -30,8 +30,7 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 	plan := newPassPlan(bm, vMinus, workers, cfg.Partition)
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-		rec := SweepRecord{Sweep: sweep, WorkerNS: make([]float64, len(plan.ranges))}
-		p0, a0 := st.Proposals, st.Accepts
+		sp := po.sweep(sweep, len(plan.ranges), &st)
 
 		// Synchronous pass over V*: identical to the serial engine's
 		// inner loop, charged as serial work.
@@ -39,23 +38,20 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
 		for _, v := range vStar {
 			serialStep(bm, int(v), cfg, rn, serialScratch, &st)
 		}
-		rec.SerialNS = float64(time.Since(start).Nanoseconds())
-		st.Cost.AddSerial(rec.SerialNS)
+		ns := float64(time.Since(start).Nanoseconds())
+		sp.serial(ns)
+		st.Cost.AddSerial(ns)
 
 		// Asynchronous pass over V⁻ against the post-V* blockmodel.
-		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, &rec)
-		rebuild(bm, next, cfg.Workers, &st, &rec)
+		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+		rebuild(bm, next, cfg.Workers, &st, sp)
 
 		st.Sweeps++
 		if cfg.Verify {
 			check.MustInvariants(bm, "hybrid post-sweep invariants")
 		}
 		cur := bm.MDL()
-		rec.MDL = cur
-		rec.Proposals = st.Proposals - p0
-		rec.Accepts = st.Accepts - a0
-		rec.finish()
-		st.PerSweep = append(st.PerSweep, rec)
+		st.PerSweep = append(st.PerSweep, sp.finish(&st, cur))
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur

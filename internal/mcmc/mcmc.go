@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blockmodel"
 	"repro/internal/check"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -134,6 +135,13 @@ type Config struct {
 	// With Workers == 1 both strategies degenerate to a single range,
 	// so the partition choice never affects single-worker results.
 	Partition Partition
+
+	// Obs attaches live telemetry (internal/obs): engine-labeled
+	// counters, gauges and histograms in Obs.Metrics, and a phase span
+	// with per-sweep events through Obs.Tracer. The zero value
+	// disables both. Telemetry never touches the RNG or the chain
+	// state, so enabling it leaves results bit-identical.
+	Obs obs.Obs
 
 	// Verify enables oracle cross-checking (internal/check): every
 	// evaluated proposal's incremental ΔS and Hastings correction are
@@ -267,18 +275,26 @@ func (r *SweepRecord) finish() {
 // and returns phase statistics. rn is the master RNG; the asynchronous
 // engines split one independent stream per worker from it.
 func Run(bm *blockmodel.Blockmodel, alg Algorithm, cfg Config, rn *rng.RNG) Stats {
+	workers := 0
+	if alg != SerialMH {
+		workers = parallel.DefaultWorkers(cfg.Workers)
+	}
+	po := newPhaseObs(cfg.Obs, alg, workers, bm.MDL(), bm.NumNonEmptyBlocks())
+	var st Stats
 	switch alg {
 	case SerialMH:
-		return runSerial(bm, cfg, rn)
+		st = runSerial(bm, cfg, rn, po)
 	case AsyncGibbs:
-		return runAsync(bm, cfg, rn)
+		st = runAsync(bm, cfg, rn, po)
 	case Hybrid:
-		return runHybrid(bm, cfg, rn)
+		st = runHybrid(bm, cfg, rn, po)
 	case BatchedGibbs:
-		return runBatched(bm, cfg, rn)
+		st = runBatched(bm, cfg, rn, po)
 	default:
 		panic(fmt.Sprintf("mcmc: unknown algorithm %d", int(alg)))
 	}
+	po.endPhase(&st)
+	return st
 }
 
 // accept decides a Metropolis-Hastings acceptance for an evaluated move.
@@ -298,29 +314,26 @@ func converged(prev, cur, threshold float64) bool {
 // runSerial is Algorithm 2: one sequential Metropolis-Hastings chain.
 // Every accepted move updates the blockmodel in place, so each proposal
 // sees the exact current state.
-func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG) Stats {
+func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: SerialMH, InitialS: bm.MDL()}
 	prev := st.InitialS
 	n := bm.G.NumVertices()
 	sc := blockmodel.NewScratch()
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
-		rec := SweepRecord{Sweep: sweep}
-		p0, a0 := st.Proposals, st.Accepts
+		sp := po.sweep(sweep, 0, &st)
 		start := time.Now()
 		for v := 0; v < n; v++ {
 			serialStep(bm, v, cfg, rn, sc, &st)
 		}
-		rec.SerialNS = float64(time.Since(start).Nanoseconds())
-		st.Cost.AddSerial(rec.SerialNS)
+		ns := float64(time.Since(start).Nanoseconds())
+		sp.serial(ns)
+		st.Cost.AddSerial(ns)
 		st.Sweeps++
 		if cfg.Verify {
 			check.MustInvariants(bm, "serial post-sweep invariants")
 		}
 		cur := bm.MDL()
-		rec.MDL = cur
-		rec.Proposals = st.Proposals - p0
-		rec.Accepts = st.Accepts - a0
-		st.PerSweep = append(st.PerSweep, rec)
+		st.PerSweep = append(st.PerSweep, sp.finish(&st, cur))
 		if converged(prev, cur, cfg.Threshold) {
 			st.Converged = true
 			st.FinalS = cur

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/blockmodel"
 	"repro/internal/check"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// after the rebuild/compact, panicking with a *check.Failure on the
 	// first divergence. O(C² + E) per proposal — small graphs only.
 	Verify bool
+
+	// Obs carries the run's telemetry handles (internal/obs). The zero
+	// value disables all instrumentation; metrics and spans never touch
+	// the RNG, so results are bit-identical with telemetry on or off.
+	Obs obs.Obs
 }
 
 // DefaultConfig returns the merge configuration used by the reference
@@ -65,6 +71,12 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 	if numToMerge <= 0 || bm.C < 2 {
 		return st
 	}
+	reg := cfg.Obs.Metrics
+	mProposals := reg.Counter("merge_proposals_total", "merge proposals evaluated")
+	mApplied := reg.Counter("merge_applied_total", "block merges applied")
+	mPhases := reg.Counter("merge_phases_total", "merge phases executed")
+	span := cfg.Obs.StartSpan("merge",
+		obs.F("blocks", bm.NumNonEmptyBlocks()), obs.F("requested", numToMerge))
 	workers := parallel.DefaultWorkers(cfg.Workers)
 	workerRNGs := make([]*rng.RNG, workers)
 	for i := range workerRNGs {
@@ -154,6 +166,13 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 	st.Cost.AddParallel(float64(time.Since(rebuildStart).Nanoseconds()))
 	if cfg.Verify {
 		check.MustInvariants(bm, "merge post-phase invariants")
+	}
+	mProposals.Add(st.Proposals)
+	mApplied.Add(int64(st.Applied))
+	mPhases.Inc()
+	if span != nil {
+		span.End(obs.F("applied", st.Applied), obs.F("proposals", st.Proposals),
+			obs.F("blocks", bm.NumNonEmptyBlocks()))
 	}
 	return st
 }

@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+// Instrument-level micro-benchmarks for the two contracts the package
+// makes: a nil (disabled) instrument is one predictable nil-compare,
+// and a live instrument is a lock-free atomic op. The end-to-end
+// engine-level overhead benchmark (disabled-vs-baseline on the A-SBP
+// sweep hot path) lives in the repo root as BenchmarkObsOverheadASBP.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := &Counter{}
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkGaugeDisabled(b *testing.B) {
+	var g *Gauge
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkGaugeEnabled(b *testing.B) {
+	g := &Gauge{}
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewHistogram(NanosBuckets)
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 2_000_000))
+	}
+}
+
+func BenchmarkCounterEnabledParallel(b *testing.B) {
+	c := &Counter{}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

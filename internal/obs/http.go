@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+)
+
+// Handler returns the debug mux for one registry:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/vars     expvar JSON (process-global expvar state)
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// The mux is self-contained — nothing is registered on
+// http.DefaultServeMux, so binding the endpoint never leaks profiling
+// handlers onto an application server.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":6060", "localhost:0", ...) and serves Handler(reg)
+// in a background goroutine. It returns the server and the bound
+// address (useful with port 0). The caller shuts down via srv.Close.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

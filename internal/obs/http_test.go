@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_total", "a counter", L("engine", "A-SBP")).Add(7)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.Contains(body, `http_test_total{engine="A-SBP"} 7`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE http_test_total counter") {
+		t.Fatalf("/metrics missing TYPE line:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	if !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars missing standard expvars:\n%.200s", body)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index lacks profiles:\n%.200s", body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("serve_test", "g").Set(1.5)
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "serve_test 1.5") {
+		t.Fatalf("metrics over Serve missing gauge:\n%s", body)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic int64. The nil Counter
+// is valid and no-ops, so disabled telemetry costs one nil-compare per
+// call site. Counters are usable standalone (e.g. a transport that
+// always accounts its traffic) and may additionally be registered for
+// exposition with Registry.RegisterCounter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value (current MDL, block
+// count, acceptance rate). The nil Gauge is valid and no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(x))
+	}
+}
+
+// SetMax raises the gauge to x if x exceeds the current value —
+// lock-free running maxima such as the worst observed imbalance.
+func (g *Gauge) SetMax(x float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// Add increments the gauge by x (CAS loop; gauges are read-mostly).
+func (g *Gauge) Add(x float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: an
+// observation x lands in the first bucket whose upper bound satisfies
+// x <= bound, or in the implicit +Inf overflow bucket when it exceeds
+// every bound. Observation is lock-free: one linear scan over the
+// (small, fixed) bound slice plus two atomic adds. The nil Histogram
+// is valid and no-ops.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds (le semantics)
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    Gauge          // sum of all observations
+}
+
+// NewHistogram builds a standalone histogram with the given strictly
+// increasing upper bounds. Panics on unordered bounds — bucket layouts
+// are compile-time decisions, not data.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(x)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// BucketCount returns the raw (non-cumulative) count of bucket i,
+// where i == len(bounds) addresses the +Inf overflow bucket.
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// NanosBuckets is the shared latency bucket layout, in nanoseconds:
+// 1µs up to 10s in decade steps with a 1-2-5 subdivision. Pass
+// durations, sweep durations and collective latencies all use it so
+// dashboards can overlay them.
+var NanosBuckets = []float64{
+	1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+	1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9, 2e9, 5e9, 1e10,
+}
+
+// RatioBuckets covers [0, 1] quantities such as acceptance rates.
+var RatioBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilInstrumentsNoop pins the disabled-path contract: every method
+// of every instrument (and the nil registry's getters) must be safe
+// and inert on nil receivers, because that is exactly what an
+// uninstrumented engine calls.
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.BucketCount(0) != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry handed out a live instrument")
+	}
+	r.RegisterCounter("x", "", &Counter{})
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	c := &Counter{}
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := &Gauge{}
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.SetMax(1) // lower: must not move
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("SetMax failed to raise: %v", got)
+	}
+	g.Add(0.5)
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("Add: %v, want 7.5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le bucket semantics at the
+// edges: an observation of exactly 0 with a 0 bound, an observation
+// exactly on the maximum bound, and overflow past every bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 100})
+
+	h.Observe(0) // == first bound → bucket 0 (le semantics)
+	if got := h.BucketCount(0); got != 1 {
+		t.Fatalf("observe(0): bucket[le=0] = %d, want 1", got)
+	}
+
+	h.Observe(100) // == max bound → last finite bucket, not overflow
+	if got := h.BucketCount(2); got != 1 {
+		t.Fatalf("observe(max): bucket[le=100] = %d, want 1", got)
+	}
+	if got := h.BucketCount(3); got != 0 {
+		t.Fatalf("observe(max) leaked into +Inf: %d", got)
+	}
+
+	h.Observe(100.0000001) // just past the max bound → overflow
+	h.Observe(math.MaxFloat64)
+	if got := h.BucketCount(3); got != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", got)
+	}
+
+	h.Observe(-5) // below every bound → first bucket (le catches all below)
+	if got := h.BucketCount(0); got != 2 {
+		t.Fatalf("negative observation: bucket 0 = %d, want 2", got)
+	}
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	want := 0.0 + 100 + 100.0000001 + math.MaxFloat64 - 5
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramRejectsUnorderedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unordered bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestConcurrentIncrements exercises the lock-free increment paths
+// under the race detector.
+func TestConcurrentIncrements(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	h := NewHistogram([]float64{10, 20})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(w))
+				h.Observe(float64(i % 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() < 7 { // max contribution dominated by Add sum anyway
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestRegistryIdempotentLookup: the same (name, labels) must return
+// the same instrument regardless of label order, so per-phase
+// re-registration accumulates rather than forks.
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", L("engine", "A-SBP"), L("worker", "0"))
+	b := r.Counter("x_total", "h", L("worker", "0"), L("engine", "A-SBP"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	other := r.Counter("x_total", "h", L("engine", "A-SBP"), L("worker", "1"))
+	if a == other {
+		t.Fatal("distinct labels shared an instrument")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestRegisterCounterReplaces: re-registering a series exposes the new
+// instrument (a fresh phase's counter) rather than the stale one.
+func TestRegisterCounterReplaces(t *testing.T) {
+	r := NewRegistry()
+	c1 := &Counter{}
+	c1.Add(5)
+	r.RegisterCounter("y_total", "h", c1, L("rank", "0"))
+	c2 := &Counter{}
+	c2.Add(9)
+	r.RegisterCounter("y_total", "h", c2, L("rank", "0"))
+	got := r.Counter("y_total", "h", L("rank", "0"))
+	if got.Value() != 9 {
+		t.Fatalf("exposed counter reads %d, want the replacement's 9", got.Value())
+	}
+}

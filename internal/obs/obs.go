@@ -1,0 +1,62 @@
+// Package obs is the live telemetry subsystem: a low-overhead metrics
+// registry (atomic counters, gauges, fixed-bucket histograms), a
+// span-style tracer emitting structured JSONL events to a pluggable
+// sink, and an HTTP exposition endpoint serving Prometheus-style text
+// at /metrics plus expvar and net/http/pprof.
+//
+// Design rules, in priority order:
+//
+//  1. Disabled must be (almost) free. Every instrument is nil-safe: a
+//     nil *Counter, *Gauge, *Histogram, *Tracer or *Span no-ops on
+//     every method, and a nil *Registry hands out nil instruments. An
+//     uninstrumented run therefore pays one nil-compare per
+//     observation point — the engines keep their hot per-proposal
+//     loops untouched and observe at pass/sweep granularity.
+//  2. Enabled must be lock-free on the increment path. Instruments are
+//     plain atomics; the registry's mutex guards registration only
+//     (once per phase), never observation.
+//  3. One instrumentation path. The post-hoc accounting structs
+//     (mcmc.SweepRecord, dist.PhaseStats) are derived from the same
+//     probe calls that feed the live registry, so the live and final
+//     numbers cannot drift apart.
+//
+// The Obs handle below is what gets threaded through configuration
+// structs; its zero value disables everything.
+package obs
+
+// Obs bundles the telemetry sinks threaded through the engines'
+// configuration structs. The zero value disables all telemetry: a nil
+// Metrics registry hands out nil (no-op) instruments and a nil Tracer
+// hands out nil (no-op) spans.
+type Obs struct {
+	// Metrics is the live metric registry, or nil.
+	Metrics *Registry
+	// Tracer emits structured span events, or nil.
+	Tracer *Tracer
+	// Span is the parent under which StartSpan creates children; nil
+	// means top level. Layers pass their span down via WithSpan so the
+	// trace nests run → outer iteration → phase → sweep without any
+	// shared mutable state (ranks trace concurrently).
+	Span *Span
+}
+
+// Enabled reports whether any telemetry sink is attached.
+func (o Obs) Enabled() bool { return o.Metrics != nil || o.Tracer != nil }
+
+// WithSpan returns a copy of the handle whose future spans are
+// children of s.
+func (o Obs) WithSpan(s *Span) Obs {
+	o.Span = s
+	return o
+}
+
+// StartSpan opens a child span of o.Span (top-level when nil). Returns
+// nil — a no-op span — when no tracer is attached.
+func (o Obs) StartSpan(name string, fields ...Field) *Span {
+	return o.Tracer.span(o.Span, name, fields)
+}
+
+// Event emits a point event under o.Span without opening a span.
+func (o Obs) Event(name string, fields ...Field) {
+	o.Tracer.event(o.Span, name, fields)
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" dimension of a metric series (engine,
+// worker id, rank, ...).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind is the exposition type of a metric family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instrument of a family; exactly one of c, g, h
+// is set, matching the family kind.
+type series struct {
+	labels []Label // sorted by key
+	key    string  // canonical label signature
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     map[string]*series
+}
+
+// Registry holds named, labeled instruments and renders them in
+// Prometheus text exposition format. Lookup/registration takes a
+// mutex; engines fetch their instruments once per phase and then
+// observe lock-free, so the mutex is never on a hot path. The nil
+// Registry is valid: every getter returns a nil (no-op) instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter registered under name and labels,
+// creating it on first use. Repeated calls with the same name and
+// labels return the same instrument, so per-phase re-registration
+// accumulates into one series. Returns nil on the nil Registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name and labels, creating
+// it on first use. Returns nil on the nil Registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket bounds on first use (later calls
+// keep the original buckets). Returns nil on the nil Registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = NewHistogram(bounds)
+	}
+	return s.h
+}
+
+// RegisterCounter exposes a pre-existing standalone counter under name
+// and labels — the path for components (the dist Comm, the TCP
+// transport) whose accounting counters exist whether or not telemetry
+// is enabled. Re-registering the same series replaces the instrument
+// (last writer wins: a fresh phase exposes its fresh counter). No-op
+// on the nil Registry or a nil counter.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	if r == nil || c == nil {
+		return
+	}
+	s := r.lookup(name, help, kindCounter, labels)
+	s.c = c
+}
+
+// lookup finds or creates the series for (name, labels), enforcing
+// one kind per family.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.kind, k))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := labelKey(ls)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls, key: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// labelKey is the canonical signature of a sorted label set.
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (families and series in deterministic sorted
+// order). Safe to call while instruments are being updated — values
+// are atomic reads, so a scrape sees a consistent-enough snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(s.labels, ""), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(s.labels, ""), fmtFloat(s.g.Value()))
+			case kindHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket
+// lines (le semantics, ending in +Inf), then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.BucketCount(i)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(s.labels, fmtFloat(bound)), cum)
+	}
+	cum += h.BucketCount(len(h.bounds))
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(s.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelString(s.labels, ""), fmtFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelString(s.labels, ""), cum)
+}
+
+// labelString renders a sorted label set as {k="v",...}; le, when
+// non-empty, is appended as the bucket boundary label. Returns "" for
+// an empty set with no le.
+func labelString(ls []Label, le string) string {
+	if len(ls) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func fmtFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

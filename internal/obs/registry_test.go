@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/exposition.golden")
+
+// buildGoldenRegistry populates a registry with fixed values covering
+// every exposition feature: unlabeled and labeled counters, gauges
+// (including negative and fractional values), multi-series families,
+// label escaping, and a histogram with boundary-value observations
+// (0, exactly the max bound, overflow).
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mcmc_proposals_total", "proposals evaluated", L("engine", "A-SBP")).Add(1234)
+	r.Counter("mcmc_proposals_total", "proposals evaluated", L("engine", "H-SBP")).Add(567)
+	r.Counter("plain_total", "an unlabeled counter").Add(42)
+	r.Gauge("sbp_mdl", "current description length").Set(8190.25)
+	r.Gauge("delta", "a negative fractional gauge", L("kind", `quo"te`+"\n"+`back\slash`)).Set(-0.5)
+	h := r.Histogram("sweep_ns", "sweep wall time", []float64{0, 1000, 2000}, L("engine", "A-SBP"))
+	h.Observe(0)    // lands in le="0"
+	h.Observe(1000) // exactly on a bound → le="1000"
+	h.Observe(1500)
+	h.Observe(99999) // overflow → +Inf only
+	return r
+}
+
+// TestExpositionGolden locks the full rendered /metrics output for the
+// fixed registry above to a checked-in golden file, so any format
+// drift (ordering, escaping, histogram cumulation, float rendering)
+// shows up as a diff.
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionHistogramCumulative spot-checks the semantics the
+// golden file encodes: bucket lines are cumulative and +Inf equals
+// _count.
+func TestExpositionHistogramCumulative(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sweep_ns_bucket{engine="A-SBP",le="0"} 1`,
+		`sweep_ns_bucket{engine="A-SBP",le="1000"} 2`,
+		`sweep_ns_bucket{engine="A-SBP",le="2000"} 3`,
+		`sweep_ns_bucket{engine="A-SBP",le="+Inf"} 4`,
+		`sweep_ns_count{engine="A-SBP"} 4`,
+		`sweep_ns_sum{engine="A-SBP"} 102499`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicOrder(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("two renders of identical registries differ")
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Field is one structured key/value attached to a trace event (MDL,
+// block count, worker id, ...). Values must be JSON-marshalable;
+// numbers and strings in practice.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F is shorthand for constructing a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured trace record. Begin/end pairs share a span
+// id; point events carry the id of their enclosing span in Parent.
+type Event struct {
+	TS     int64   // wall-clock nanoseconds since the Unix epoch
+	Kind   string  // "begin", "end" or "event"
+	Span   int64   // span id ("begin"/"end"), 0 for point events
+	Parent int64   // enclosing span id, 0 at top level
+	Name   string  // span or event name
+	DurNS  int64   // span duration, set on "end" only
+	Fields []Field // structured payload
+}
+
+// Sink consumes trace events. Emit may be called concurrently (ranks
+// and workers trace in parallel); sinks serialize internally.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Tracer hands out spans and forwards their events to a sink. The nil
+// Tracer is valid: it hands out nil spans, and every span method
+// no-ops on the nil span, so disabled tracing costs one nil-compare
+// per call site.
+type Tracer struct {
+	sink Sink
+	seq  atomic.Int64
+	now  func() time.Time
+}
+
+// NewTracer returns a tracer emitting to sink.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, now: time.Now}
+}
+
+// Span is one live span. Spans form the run → outer iteration → phase
+// → sweep hierarchy; children are created through Obs.StartSpan (or
+// Child) so concurrent ranks can trace against the same tracer
+// without shared mutable state.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+}
+
+// span opens a child of parent (nil = top level). Nil-safe.
+func (t *Tracer) span(parent *Span, name string, fields []Field) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, id: t.seq.Add(1), name: name, start: t.now()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	t.sink.Emit(Event{
+		TS: s.start.UnixNano(), Kind: "begin", Span: s.id, Parent: s.parent,
+		Name: name, Fields: fields,
+	})
+	return s
+}
+
+// event emits a point event under parent (nil = top level). Nil-safe.
+func (t *Tracer) event(parent *Span, name string, fields []Field) {
+	if t == nil {
+		return
+	}
+	var pid int64
+	if parent != nil {
+		pid = parent.id
+	}
+	t.sink.Emit(Event{TS: t.now().UnixNano(), Kind: "event", Parent: pid, Name: name, Fields: fields})
+}
+
+// Child opens a sub-span. Returns nil (a no-op span) on the nil span.
+func (s *Span) Child(name string, fields ...Field) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.span(s, name, fields)
+}
+
+// Event emits a point event inside this span. No-op on the nil span.
+func (s *Span) Event(name string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.t.event(s, name, fields)
+}
+
+// End closes the span, stamping its duration. No-op on the nil span.
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.sink.Emit(Event{
+		TS: now.UnixNano(), Kind: "end", Span: s.id, Parent: s.parent,
+		Name: s.name, DurNS: now.Sub(s.start).Nanoseconds(), Fields: fields,
+	})
+}
+
+// JSONLSink serializes events as one JSON object per line. Writes are
+// mutex-serialized, so one sink may serve concurrent ranks.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifecycle (closing files).
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Err returns the first write or encode error, if any — checked once
+// at the end of a run rather than per event.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Emit writes one event as a JSON line. Field keys render in the
+// order given at the call site, after the fixed envelope keys.
+func (s *JSONLSink) Emit(e Event) {
+	buf := appendEventJSON(nil, e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(buf)
+}
+
+// appendEventJSON renders the event envelope with stable key order:
+// ts, kind, span, parent, name, dur_ns, then the fields.
+func appendEventJSON(buf []byte, e Event) []byte {
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendInt(buf, e.TS, 10)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind...)
+	buf = append(buf, '"')
+	if e.Span != 0 {
+		buf = append(buf, `,"span":`...)
+		buf = strconv.AppendInt(buf, e.Span, 10)
+	}
+	if e.Parent != 0 {
+		buf = append(buf, `,"parent":`...)
+		buf = strconv.AppendInt(buf, e.Parent, 10)
+	}
+	buf = append(buf, `,"name":`...)
+	buf = appendJSONValue(buf, e.Name)
+	if e.Kind == "end" {
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendInt(buf, e.DurNS, 10)
+	}
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONValue(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, f.Value)
+	}
+	return append(buf, '}', '\n')
+}
+
+// appendJSONValue marshals one value; a marshal failure (non-JSONable
+// field) renders as a quoted error string rather than corrupting the
+// line.
+func appendJSONValue(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal("!" + err.Error())
+	}
+	return append(buf, b...)
+}
+
+// CollectorSink buffers events in memory — the sink tests and
+// in-process consumers use.
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *CollectorSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a snapshot of everything emitted so far.
+func (s *CollectorSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanHierarchy checks that the run → iteration → phase → sweep
+// nesting the engines emit is reconstructible from span/parent ids.
+func TestSpanHierarchy(t *testing.T) {
+	sink := &CollectorSink{}
+	tr := NewTracer(sink)
+	o := Obs{Tracer: tr}
+
+	run := o.StartSpan("run", F("alg", "H-SBP"))
+	iter := run.Child("iteration", F("iter", 0))
+	phase := iter.Child("mcmc")
+	phase.Event("sweep", F("sweep", 0), F("mdl", 123.5))
+	phase.End(F("sweeps", 1))
+	iter.End()
+	run.End()
+
+	evs := sink.Events()
+	if len(evs) != 7 {
+		t.Fatalf("got %d events, want 7", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, e := range evs {
+		if e.Kind == "begin" || e.Kind == "event" {
+			byName[e.Name] = e
+		}
+	}
+	if byName["run"].Parent != 0 {
+		t.Fatal("run span is not top-level")
+	}
+	if byName["iteration"].Parent != byName["run"].Span {
+		t.Fatal("iteration not parented to run")
+	}
+	if byName["mcmc"].Parent != byName["iteration"].Span {
+		t.Fatal("phase not parented to iteration")
+	}
+	if byName["sweep"].Parent != byName["mcmc"].Span {
+		t.Fatal("sweep event not parented to phase span")
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != "end" || last.Name != "run" || last.DurNS < 0 {
+		t.Fatalf("final event %+v is not the run end", last)
+	}
+}
+
+// TestNilTracerAndSpan pins the disabled path: a zero Obs hands out
+// nil spans whose whole API is inert.
+func TestNilTracerAndSpan(t *testing.T) {
+	var o Obs
+	s := o.StartSpan("x")
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	s.Event("e")
+	child := s.Child("c")
+	child.End()
+	s.End()
+	o.Event("point")
+}
+
+// TestJSONLSink checks every emitted line is standalone valid JSON
+// with the envelope keys and caller fields present.
+func TestJSONLSink(t *testing.T) {
+	var buf strings.Builder
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	o := Obs{Tracer: tr}
+
+	sp := o.StartSpan("phase", F("engine", "A-SBP"), F("blocks", 32))
+	sp.Event("sweep", F("mdl", 99.125), F("imbalance", 1.25))
+	sp.End(F("final_mdl", 98.5))
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if lines[0]["kind"] != "begin" || lines[0]["engine"] != "A-SBP" || lines[0]["blocks"] != float64(32) {
+		t.Fatalf("begin line missing fields: %v", lines[0])
+	}
+	if lines[1]["kind"] != "event" || lines[1]["mdl"] != 99.125 {
+		t.Fatalf("event line missing fields: %v", lines[1])
+	}
+	if lines[2]["kind"] != "end" || lines[2]["final_mdl"] != 98.5 {
+		t.Fatalf("end line missing fields: %v", lines[2])
+	}
+	if _, ok := lines[2]["dur_ns"]; !ok {
+		t.Fatal("end line missing dur_ns")
+	}
+	for _, m := range lines {
+		if _, ok := m["ts"]; !ok {
+			t.Fatalf("line missing ts: %v", m)
+		}
+	}
+}
+
+// TestConcurrentSpans: ranks trace against one tracer concurrently;
+// ids must stay unique and the sink must not corrupt lines.
+func TestConcurrentSpans(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.WriteString(string(p))
+	})
+	sink := NewJSONLSink(w)
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := Obs{Tracer: tr}
+			sp := o.StartSpan("rank", F("rank", r))
+			for i := 0; i < 20; i++ {
+				sp.Event("sweep", F("sweep", i))
+			}
+			sp.End()
+		}(r)
+	}
+	wg.Wait()
+
+	ids := map[float64]bool{}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("corrupt line %q: %v", sc.Text(), err)
+		}
+		if m["kind"] == "begin" {
+			id := m["span"].(float64)
+			if ids[id] {
+				t.Fatalf("duplicate span id %v", id)
+			}
+			ids[id] = true
+		}
+		n++
+	}
+	if n != 4*22 {
+		t.Fatalf("got %d lines, want %d", n, 4*22)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -58,6 +59,14 @@ type Options struct {
 	// with that iteration's statistics — the hook CLI tools use for
 	// verbose output. It must not retain the stats' blockmodel.
 	Progress func(IterationStats)
+
+	// Obs carries the run's telemetry handles (internal/obs): the live
+	// metrics registry and the trace sink. Run threads it — scoped under
+	// the run and iteration spans — into every merge and MCMC phase.
+	// The zero value disables all instrumentation. Telemetry never
+	// touches the RNG tree, so a run's results are bit-identical with
+	// telemetry on or off.
+	Obs obs.Obs
 }
 
 // DefaultOptions returns options matching the paper's setup with the
@@ -207,6 +216,20 @@ func Run(g *graph.Graph, opts Options) *Result {
 		opts.Merge.Verify = true
 	}
 
+	// Run-level telemetry. Iteration gauges track the search live; the
+	// phase-time counters are the merge-vs-MCMC split as the registry
+	// sees it (Result repeats the same totals post hoc).
+	reg := opts.Obs.Metrics
+	gMDL := reg.Gauge("sbp_mdl", "best description length found so far")
+	gBlocks := reg.Gauge("sbp_blocks", "community count of the latest iteration's state")
+	cIters := reg.Counter("sbp_iterations_total", "outer iterations executed")
+	cMCMCNS := reg.Counter("sbp_mcmc_ns_total", "wall nanoseconds in MCMC phases")
+	cMergeNS := reg.Counter("sbp_merge_ns_total", "wall nanoseconds in merge phases")
+	runSpan := opts.Obs.StartSpan("run",
+		obs.F("engine", opts.Algorithm.String()),
+		obs.F("vertices", g.NumVertices()), obs.F("edges", g.NumEdges()),
+		obs.F("seed", opts.Seed))
+
 	cur := blockmodel.Identity(g, opts.MCMC.Workers)
 	if opts.Verify {
 		check.MustInvariants(cur, "initial identity state")
@@ -227,14 +250,22 @@ func Run(g *graph.Graph, opts Options) *Result {
 		}
 		work := from.bm.Clone()
 
+		iterSpan := opts.Obs.WithSpan(runSpan).StartSpan("iteration",
+			obs.F("iter", iter), obs.F("from_blocks", from.c), obs.F("target_blocks", target))
+		iterObs := opts.Obs.WithSpan(iterSpan)
+
 		// Merge phase: reduce to the target community count.
+		mergeCfg := opts.Merge
+		mergeCfg.Obs = iterObs
 		mergeStart := time.Now()
-		ms := merge.Phase(work, from.c-target, opts.Merge, rn)
+		ms := merge.Phase(work, from.c-target, mergeCfg, rn)
 		mergeTime := time.Since(mergeStart)
 
 		// MCMC phase: refine vertex memberships at this community count.
+		mcmcCfg := opts.MCMC
+		mcmcCfg.Obs = iterObs
 		mcmcStart := time.Now()
-		cs := mcmc.Run(work, opts.Algorithm, opts.MCMC, rn)
+		cs := mcmc.Run(work, opts.Algorithm, mcmcCfg, rn)
 		mcmcTime := time.Since(mcmcStart)
 		work.Compact(opts.MCMC.Workers)
 		if opts.Verify {
@@ -252,6 +283,15 @@ func Run(g *graph.Graph, opts Options) *Result {
 			MCMCTime:     mcmcTime,
 		}
 		res.Iterations = append(res.Iterations, it)
+		cIters.Inc()
+		cMCMCNS.Add(mcmcTime.Nanoseconds())
+		cMergeNS.Add(mergeTime.Nanoseconds())
+		gBlocks.Set(float64(work.NumNonEmptyBlocks()))
+		gMDL.Set(math.Min(mdl, br.mid.mdl))
+		if iterSpan != nil {
+			iterSpan.End(obs.F("mdl", mdl), obs.F("blocks", work.NumNonEmptyBlocks()),
+				obs.F("sweeps", cs.Sweeps), obs.F("merged", ms.Applied))
+		}
 		if opts.Progress != nil {
 			opts.Progress(it)
 		}
@@ -282,6 +322,12 @@ func Run(g *graph.Graph, opts Options) *Result {
 	res.NormalizedMDL = best.bm.NormalizedMDL()
 	res.NumCommunities = best.c
 	res.TotalTime = time.Since(start)
+	gMDL.Set(res.MDL)
+	gBlocks.Set(float64(res.NumCommunities))
+	if runSpan != nil {
+		runSpan.End(obs.F("mdl", res.MDL), obs.F("blocks", res.NumCommunities),
+			obs.F("iterations", len(res.Iterations)), obs.F("sweeps", res.TotalMCMCSweeps))
+	}
 	return res
 }
 

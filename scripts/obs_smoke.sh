@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Telemetry-endpoint smoke test for cmd/sbp -obs: run a detection on a
+# tiny graph with the obs HTTP endpoint live, scrape /metrics and a
+# 1-second CPU profile from /debug/pprof while the run is in flight,
+# and assert both responses are well-formed. Used by CI; runnable
+# locally with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; kill "${pid:-0}" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/sbp" ./cmd/sbp
+
+"$tmp/gengraph" -vertices 600 -communities 6 -min-degree 3 -max-degree 40 \
+  -seed 7 -out "$tmp/graph.tsv"
+
+addr="127.0.0.1:39431"
+# Enough runs that the process is still alive while we scrape it.
+"$tmp/sbp" -graph "$tmp/graph.tsv" -alg asbp -runs 30 -seed 11 \
+  -obs "$addr" -trace "$tmp/trace.jsonl" >"$tmp/sbp.out" 2>"$tmp/sbp.err" &
+pid=$!
+
+# Wait for the endpoint to come up.
+for _ in $(seq 1 50); do
+  if curl -sf "http://$addr/metrics" -o "$tmp/metrics.txt" 2>/dev/null; then
+    break
+  fi
+  kill -0 "$pid" 2>/dev/null || { echo "FAIL: sbp exited early"; cat "$tmp/sbp.err"; exit 1; }
+  sleep 0.2
+done
+[ -s "$tmp/metrics.txt" ] || { echo "FAIL: /metrics never became reachable"; exit 1; }
+
+# A 1-second CPU profile taken mid-run must be a non-empty gzip blob.
+curl -sf "http://$addr/debug/pprof/profile?seconds=1" -o "$tmp/cpu.pb.gz"
+[ -s "$tmp/cpu.pb.gz" ] || { echo "FAIL: empty CPU profile"; exit 1; }
+case "$(head -c2 "$tmp/cpu.pb.gz" | od -An -tx1 | tr -d ' \n')" in
+  1f8b) ;;
+  *) echo "FAIL: CPU profile is not gzip data"; exit 1 ;;
+esac
+
+# Re-scrape after the profile so engine series have accumulated.
+curl -sf "http://$addr/metrics" -o "$tmp/metrics.txt"
+for want in \
+  '# TYPE mcmc_sweeps_total counter' \
+  'mcmc_sweeps_total{engine="A-SBP"}' \
+  '# TYPE mcmc_sweep_duration_ns histogram' \
+  'le="+Inf"' \
+  'sbp_iterations_total' \
+  'merge_applied_total'
+do
+  grep -qF -- "$want" "$tmp/metrics.txt" || {
+    echo "FAIL: /metrics missing: $want"; cat "$tmp/metrics.txt"; exit 1; }
+done
+
+# expvar must serve a JSON object with the process counters.
+curl -sf "http://$addr/debug/vars" | grep -q '"sbp_iterations"' \
+  || { echo "FAIL: /debug/vars missing sbp_iterations"; exit 1; }
+
+wait "$pid" || { echo "FAIL: sbp exited non-zero"; cat "$tmp/sbp.err"; exit 1; }
+
+# The JSONL trace must contain end events for the run spans.
+[ -s "$tmp/trace.jsonl" ] || { echo "FAIL: empty trace file"; exit 1; }
+grep -q '"kind":"end","span":[0-9]*,"name":"run"' "$tmp/trace.jsonl" \
+  || { echo "FAIL: trace has no run end event"; head "$tmp/trace.jsonl"; exit 1; }
+
+echo "OK: /metrics, /debug/pprof/profile, /debug/vars and -trace all well-formed"
