@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/blockmodel"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -49,6 +53,10 @@ func main() {
 		verbose     = flag.Bool("v", false, "log connection and phase progress to stderr")
 		obsAddr     = flag.String("obs", "", "serve this rank's live telemetry on this address: Prometheus /metrics (wire and sweep counters under this rank's label), /debug/vars, /debug/pprof")
 		tracePath   = flag.String("trace", "", "write this rank's structured JSONL trace events to this file")
+		ckptDir     = flag.String("checkpoint-dir", "", "write this rank's durable sweep-boundary checkpoints to this directory; SIGINT/SIGTERM then stops the whole cluster at an agreed boundary")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "sweep interval between periodic checkpoints (with -checkpoint-dir)")
+		ckptRetain  = flag.Int("checkpoint-retain", 0, "checkpoint generations kept per rank (0 = default)")
+		resume      = flag.Bool("resume", false, "rejoin from the newest checkpoint boundary common to all ranks (must be set on every rank)")
 	)
 	flag.Parse()
 	if err := run(rankArgs{
@@ -57,6 +65,7 @@ func main() {
 		seed: *seed, maxSweeps: *maxSweeps, threshold: *threshold, beta: *beta,
 		hybridFrac: *hybridFrac, ioTimeout: *ioTimeout, acceptWait: *acceptWait,
 		verbose: *verbose, obsAddr: *obsAddr, tracePath: *tracePath,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptRetain: *ckptRetain, resume: *resume,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dsbp:", err)
 		os.Exit(1)
@@ -75,6 +84,9 @@ type rankArgs struct {
 	ioTimeout, acceptWait time.Duration
 	verbose               bool
 	obsAddr, tracePath    string
+	ckptDir               string
+	ckptEvery, ckptRetain int
+	resume                bool
 }
 
 func run(a rankArgs) error {
@@ -96,6 +108,9 @@ func run(a rankArgs) error {
 	}
 	if a.communities < 1 {
 		return fmt.Errorf("-communities %d", a.communities)
+	}
+	if a.resume && a.ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
 	var m dist.Mode
@@ -164,6 +179,23 @@ func run(a rankArgs) error {
 		membership[v] = int32(init.Intn(a.communities))
 	}
 
+	// SIGINT/SIGTERM cancels the context: connection establishment
+	// aborts promptly, and a running phase stops — cluster-wide, via the
+	// stop protocol — at the next sweep boundary, checkpointing there
+	// when -checkpoint-dir is set. A second signal exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintf(os.Stderr, "dsbp rank %d: signal received: stopping at the next agreed sweep boundary (send again to exit immediately)\n", a.rank)
+		cancel()
+		<-sig
+		fmt.Fprintf(os.Stderr, "dsbp rank %d: second signal: exiting immediately\n", a.rank)
+		os.Exit(1)
+	}()
+
 	logf("connecting to %d peers", a.ranks-1)
 	start := time.Now()
 	tr, err := distnet.Dial(distnet.Config{
@@ -173,10 +205,14 @@ func run(a rankArgs) error {
 		AcceptWait: a.acceptWait,
 		Seed:       a.seed,
 		Obs:        telemetry,
+		Ctx:        ctx,
 	})
 	if err != nil {
 		return err
 	}
+	// The deferred close is the graceful teardown on every path — after
+	// convergence, after an agreed cancellation stop (RunRank's final
+	// barrier has already quiesced the collectives), and after an error.
 	defer tr.Close()
 	logf("cluster up in %v (%d dial retries)", time.Since(start).Round(time.Millisecond), tr.DialRetries())
 
@@ -189,11 +225,24 @@ func run(a rankArgs) error {
 		Partition:      p,
 		Seed:           a.seed,
 		Obs:            telemetry,
+		Ctx:            ctx,
+		Ckpt: snapshot.Policy{
+			Dir: a.ckptDir, Every: a.ckptEvery, Retain: a.ckptRetain, Resume: a.resume,
+			Obs:     telemetry,
+			OnError: func(err error) { fmt.Fprintf(os.Stderr, "dsbp rank %d: checkpoint write failed: %v\n", a.rank, err) },
+		},
 	}
 	comm := dist.NewComm(tr)
 	st, err := dist.RunRank(comm, g, membership, a.communities, m, cfg)
 	if err != nil {
 		return err
+	}
+	if st.ResumedFrom >= 0 {
+		logf("rejoined from checkpoint boundary sweep %d", st.ResumedFrom)
+	}
+	if st.Interrupted {
+		fmt.Fprintf(os.Stderr, "dsbp rank %d: interrupted: checkpoint saved in %s at sweep %d; restart every rank with -resume\n",
+			a.rank, a.ckptDir, st.Sweeps)
 	}
 
 	// Count the non-empty blocks of the final global membership.
@@ -201,9 +250,9 @@ func run(a rankArgs) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rank=%d mode=%s ranks=%d partition=%s sweeps=%d converged=%t proposals=%d accepts=%d "+
+	fmt.Printf("rank=%d mode=%s ranks=%d partition=%s sweeps=%d converged=%t interrupted=%t proposals=%d accepts=%d "+
 		"blocks=%d sent_bytes=%d comm_ms=%.1f initial_mdl=%.6f final_mdl=%.6f\n",
-		a.rank, m, a.ranks, p, st.Sweeps, st.Converged, st.Proposals, st.Accepts,
+		a.rank, m, a.ranks, p, st.Sweeps, st.Converged, st.Interrupted, st.Proposals, st.Accepts,
 		bm.NumNonEmptyBlocks(), st.SentBytes, float64(st.CommTime.Microseconds())/1000,
 		st.InitialS, st.FinalS)
 	return nil

@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -47,6 +50,13 @@ func main() {
 	flag.Parse()
 	cfg.Scale, cfg.RealScale, cfg.Runs, cfg.Threads, cfg.Seed = *scale, *rscale, *runs, *threads, *seed
 
+	// SIGINT/SIGTERM stops the suite: running searches wind down at the
+	// next sweep boundary, remaining experiments are skipped, and the
+	// tables finished so far still flush to -csvdir. A second signal
+	// exits immediately.
+	ctx := signalContext()
+	cfg.Ctx = ctx
+
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs.Metrics = reg
@@ -63,6 +73,9 @@ func main() {
 	}
 	all := want["all"]
 	need := func(names ...string) bool {
+		if ctx.Err() != nil {
+			return false // interrupted: skip the experiments not yet started
+		}
 		if all {
 			return true
 		}
@@ -145,7 +158,7 @@ func main() {
 	if need("dist", "distributed") {
 		emit(cfg.FigDistributed())
 	}
-	if *sweeps != "" {
+	if *sweeps != "" && ctx.Err() == nil {
 		traces, err := cfg.SweepTraces()
 		if err != nil {
 			log.Fatal(err)
@@ -179,8 +192,30 @@ func main() {
 		}
 		fmt.Printf("wrote %d CSV files to %s\n", len(tables), *csvdir)
 	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted after %v: %d table(s) finished before the signal were kept",
+			time.Since(start).Round(time.Second), len(tables))
+		os.Exit(1)
+	}
 	fmt.Printf("done in %v (algorithms: %v)\n", time.Since(start).Round(time.Second),
 		[]mcmc.Algorithm{mcmc.SerialMH, mcmc.Hybrid, mcmc.AsyncGibbs})
+}
+
+// signalContext returns a context cancelled by the first SIGINT or
+// SIGTERM; a second signal exits the process immediately.
+func signalContext() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("signal received: finishing the current sweep, flushing partial results (send again to exit immediately)")
+		cancel()
+		<-sig
+		log.Printf("second signal: exiting immediately")
+		os.Exit(1)
+	}()
+	return ctx
 }
 
 func slug(title string) string {

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/blockmodel"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sbp"
+	"repro/internal/snapshot"
 )
 
 // Live counters served on the -obs address under /debug/vars,
@@ -63,6 +67,9 @@ func main() {
 		obsAddr   = flag.String("obs", "", "serve live telemetry on this address (e.g. localhost:6060): Prometheus /metrics, /debug/vars, /debug/pprof")
 		pprofAddr = flag.String("pprof", "", "deprecated alias for -obs")
 		tracePath = flag.String("trace", "", "write structured JSONL trace events (run/iteration/mcmc spans, per-sweep events) to this file")
+		ckptDir   = flag.String("checkpoint-dir", "", "write durable search checkpoints to this directory; SIGINT/SIGTERM then stops at a clean boundary instead of losing the run")
+		ckptEvery = flag.Int("checkpoint-every", 0, "also checkpoint every N MCMC sweeps inside a phase (0 = iteration boundaries only)")
+		resume    = flag.Bool("resume", false, "continue the search checkpointed in -checkpoint-dir (bit-identical to the uninterrupted run)")
 	)
 	flag.Parse()
 	if *vv {
@@ -71,6 +78,17 @@ func main() {
 	if *obsAddr == "" {
 		*obsAddr = *pprofAddr
 	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" && *runs != 1 {
+		log.Fatal("-checkpoint-dir supports a single run (-runs 1): the checkpoint holds one search")
+	}
+
+	// SIGINT/SIGTERM stop the search at the next clean boundary (with a
+	// final checkpoint when -checkpoint-dir is set); a second signal
+	// exits immediately.
+	ctx := signalContext()
 
 	// Live telemetry: one registry per process, exposed over HTTP when
 	// -obs is set; one tracer when -trace is set. Both are inert (zero
@@ -155,6 +173,11 @@ func main() {
 		opts.MCMC.Partition = part
 		opts.Verify = *verify
 		opts.Obs = telemetry
+		opts.Ctx = ctx
+		opts.Checkpoint = snapshot.Policy{
+			Dir: *ckptDir, Every: *ckptEvery, Obs: telemetry,
+			OnError: func(err error) { log.Printf("checkpoint write failed: %v", err) },
+		}
 		opts.Progress = func(it sbp.IterationStats) {
 			evIterations.Add(1)
 			evSweeps.Add(int64(it.MCMC.Sweeps))
@@ -173,13 +196,31 @@ func main() {
 				printSweepTable(it.MCMC.PerSweep)
 			}
 		}
-		res := sbp.Run(g, opts)
+		var res *sbp.Result
+		if *resume {
+			var err error
+			res, err = sbp.Resume(g, opts)
+			if err != nil {
+				log.Fatalf("resume from %s: %v", *ckptDir, err)
+			}
+			log.Printf("resumed search from %s", *ckptDir)
+		} else {
+			res = sbp.Run(g, opts)
+		}
 		fmt.Printf("run %d: C=%d MDL=%.1f MDLnorm=%.4f imb max/mean %.2f/%.2f (mcmc %v, total %v)\n",
 			i+1, res.NumCommunities, res.MDL, res.NormalizedMDL,
 			res.MaxImbalance, res.MeanImbalance,
 			res.MCMCTime.Round(time.Millisecond), res.TotalTime.Round(time.Millisecond))
 		if best == nil || res.MDL < best.MDL {
 			best = res
+		}
+		if res.Interrupted {
+			if *ckptDir != "" {
+				log.Printf("interrupted: checkpoint saved in %s; continue with -resume", *ckptDir)
+			} else {
+				log.Printf("interrupted: no -checkpoint-dir, progress not saved")
+			}
+			break
 		}
 	}
 	mod, err := metrics.Modularity(g, best.Best.Assignment)
@@ -219,6 +260,24 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
+}
+
+// signalContext returns a context cancelled by the first SIGINT or
+// SIGTERM; a second signal exits the process immediately (the escape
+// hatch when a graceful boundary stop is taking too long).
+func signalContext() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		log.Printf("signal received: stopping at the next clean boundary (send again to exit immediately)")
+		cancel()
+		<-ch
+		log.Printf("second signal: exiting immediately")
+		os.Exit(1)
+	}()
+	return ctx
 }
 
 // printSweepTable renders the per-sweep observability records of one

@@ -68,6 +68,24 @@ func FromAssignment(g *graph.Graph, assignment []int32, c int, workers int) (*Bl
 	return bm, nil
 }
 
+// FromCheckpoint rebuilds a blockmodel from a checkpointed membership
+// and verifies the rebuilt description length equals the stored one
+// bit-for-bit. Edge counts are integers, so the MDL recomputation is
+// exact regardless of rebuild parallelism — any mismatch means the
+// membership does not belong to this graph (wrong file, wrong graph,
+// or corruption the container checksum cannot see), and resuming from
+// it would silently diverge.
+func FromCheckpoint(g *graph.Graph, membership []int32, c int, wantMDL float64, workers int) (*Blockmodel, error) {
+	bm, err := FromAssignment(g, membership, c, workers)
+	if err != nil {
+		return nil, err
+	}
+	if got := bm.MDL(); got != wantMDL {
+		return nil, fmt.Errorf("blockmodel: checkpoint MDL mismatch: rebuilt %v, stored %v (membership does not match this graph)", got, wantMDL)
+	}
+	return bm, nil
+}
+
 // Identity returns the trivial blockmodel with every vertex in its own
 // block — the starting state of SBP.
 func Identity(g *graph.Graph, workers int) *Blockmodel {

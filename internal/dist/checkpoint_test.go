@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestDistributedInterruptResumeBitIdentical is the in-process half of
+// the distributed crash-injection harness: cancel the cluster after a
+// seeded number of checkpoint writes, resume from the per-rank
+// checkpoints, and demand the final membership and MDL match an
+// uninterrupted run bit-for-bit.
+func TestDistributedInterruptResumeBitIdentical(t *testing.T) {
+	for _, mode := range []Mode{ModeAsync, ModeHybrid} {
+		golden, _ := distModel(t, 51)
+		cfg := testCfg(2)
+		gst, err := RunMCMCPhase(golden, mode, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dir := t.TempDir()
+		interrupted, _ := distModel(t, 51)
+		ctx, cancel := context.WithCancel(context.Background())
+		var writes atomic.Int32
+		icfg := cfg
+		icfg.Ctx = ctx
+		icfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, OnWrite: func(string) {
+			if writes.Add(1) == 3 {
+				cancel()
+			}
+		}}
+		ist, err := RunMCMCPhase(interrupted, mode, icfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("%v interrupted run: %v", mode, err)
+		}
+		if !ist.Interrupted {
+			t.Skipf("%v converged before the third checkpoint write", mode)
+		}
+
+		resumed, _ := distModel(t, 51)
+		rcfg := cfg
+		rcfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, Resume: true}
+		rst, err := RunMCMCPhase(resumed, mode, rcfg)
+		if err != nil {
+			t.Fatalf("%v resume: %v", mode, err)
+		}
+		if rst.Interrupted {
+			t.Fatalf("%v resume reported interrupted", mode)
+		}
+		if rst.FinalS != gst.FinalS {
+			t.Fatalf("%v resumed final MDL %v, want bit-identical %v", mode, rst.FinalS, gst.FinalS)
+		}
+		if rst.Sweeps != gst.Sweeps || rst.Proposals != gst.Proposals || rst.Accepts != gst.Accepts {
+			t.Fatalf("%v resumed counters (%d, %d, %d) != golden (%d, %d, %d)", mode,
+				rst.Sweeps, rst.Proposals, rst.Accepts, gst.Sweeps, gst.Proposals, gst.Accepts)
+		}
+		for v := range golden.Assignment {
+			if resumed.Assignment[v] != golden.Assignment[v] {
+				t.Fatalf("%v membership diverges at vertex %d", mode, v)
+			}
+		}
+	}
+}
+
+// TestRejoinFallsBackToCommonSweep simulates a rank restarting one
+// checkpoint generation behind its peers — the hard-kill-mid-write
+// case: the cluster must rejoin from the newest boundary every rank
+// still has, not the newest any rank has.
+func TestRejoinFallsBackToCommonSweep(t *testing.T) {
+	golden, _ := distModel(t, 52)
+	cfg := testCfg(2)
+	gst, err := RunMCMCPhase(golden, ModeAsync, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	interrupted, _ := distModel(t, 52)
+	ctx, cancel := context.WithCancel(context.Background())
+	var writes atomic.Int32
+	icfg := cfg
+	icfg.Ctx = ctx
+	icfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, OnWrite: func(string) {
+		if writes.Add(1) == 5 {
+			cancel()
+		}
+	}}
+	ist, err := RunMCMCPhase(interrupted, ModeAsync, icfg)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ist.Interrupted {
+		t.Skip("converged before the fifth checkpoint write")
+	}
+
+	// Drop rank 1's newest generation, as if it was killed mid-write.
+	pol := snapshot.Policy{Dir: dir}
+	sweeps := pol.RankSweeps(1)
+	if len(sweeps) < 2 {
+		t.Fatalf("rank 1 has %d checkpoint generations, need 2+", len(sweeps))
+	}
+	newest := sweeps[len(sweeps)-1]
+	if err := os.Remove(pol.RankPath(1, newest)); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, _ := distModel(t, 52)
+	rcfg := cfg
+	rcfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, Resume: true}
+	rst, err := RunMCMCPhase(resumed, ModeAsync, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FinalS != gst.FinalS {
+		t.Fatalf("resumed final MDL %v, want bit-identical %v", rst.FinalS, gst.FinalS)
+	}
+	for v := range golden.Assignment {
+		if resumed.Assignment[v] != golden.Assignment[v] {
+			t.Fatalf("membership diverges at vertex %d (rejoined below sweep %d)", v, newest)
+		}
+	}
+}
+
+// TestCheckpointingDoesNotPerturbPhase runs the same phase with and
+// without checkpointing + stop protocol: the extra allreduce and the
+// checkpoint writes must never touch the RNG streams.
+func TestCheckpointingDoesNotPerturbPhase(t *testing.T) {
+	plain, _ := distModel(t, 53)
+	cfg := testCfg(3)
+	pst, err := RunMCMCPhase(plain, ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, _ := distModel(t, 53)
+	ccfg := cfg
+	ccfg.Ctx = context.Background()
+	ccfg.Ckpt = snapshot.Policy{Dir: t.TempDir(), Every: 1}
+	cst, err := RunMCMCPhase(ckpt, ModeHybrid, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.FinalS != pst.FinalS || cst.Sweeps != pst.Sweeps {
+		t.Fatalf("checkpointing changed the phase: MDL %v vs %v, sweeps %d vs %d",
+			cst.FinalS, pst.FinalS, cst.Sweeps, pst.Sweeps)
+	}
+	for v := range plain.Assignment {
+		if ckpt.Assignment[v] != plain.Assignment[v] {
+			t.Fatalf("checkpointing changed membership at vertex %d", v)
+		}
+	}
+}
+
+// TestRejoinRejectsMismatchedConfig: a checkpoint from a different run
+// configuration must fail the rejoin loudly, not silently diverge.
+func TestRejoinRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	bm, _ := distModel(t, 54)
+	ctx, cancel := context.WithCancel(context.Background())
+	var writes atomic.Int32
+	cfg := testCfg(2)
+	cfg.Ctx = ctx
+	cfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, OnWrite: func(string) {
+		if writes.Add(1) == 3 {
+			cancel()
+		}
+	}}
+	ist, err := RunMCMCPhase(bm, ModeAsync, cfg)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ist.Interrupted {
+		t.Skip("converged before the third checkpoint write")
+	}
+
+	resumed, _ := distModel(t, 54)
+	bad := testCfg(2)
+	bad.Seed = 999 // not the checkpointed seed
+	bad.Ckpt = snapshot.Policy{Dir: dir, Every: 1, Resume: true}
+	if _, err := RunMCMCPhase(resumed, ModeAsync, bad); err == nil {
+		t.Fatal("rejoin with mismatched seed should fail")
+	}
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 )
 
 // Distributed A-SBP / H-SBP: the MCMC phase of the paper's algorithms
@@ -98,6 +100,22 @@ type Config struct {
 	// or off. Under cmd/dsbp every process holds its own registry, so
 	// rank labels also identify the process.
 	Obs obs.Obs
+
+	// Ctx, when non-nil, makes the phase cancellable. Cancellation is
+	// agreed cluster-wide through an extra per-sweep allreduce (see the
+	// stop protocol in RunRank), so every rank stops — and checkpoints —
+	// at the same sweep boundary. Collectives themselves do not abort on
+	// cancellation: the graceful boundary protocol needs them to finish.
+	Ctx context.Context
+
+	// Ckpt configures durable per-rank checkpoints (internal/snapshot).
+	// Every rank writes its own rank%04d-sweep%08d.ckpt at deterministic
+	// sweep boundaries; with Ckpt.Resume set the ranks negotiate the
+	// newest boundary every rank can load and rejoin from it. The zero
+	// value disables checkpointing. All ranks must share the same Every,
+	// Retain and Resume settings (the boundary schedule is part of the
+	// protocol), though Dir is rank-local under cmd/dsbp.
+	Ckpt snapshot.Policy
 }
 
 // DefaultConfig mirrors the shared-memory defaults on 4 ranks.
@@ -117,6 +135,10 @@ type PhaseStats struct {
 	Converged    bool
 	TrafficBytes int64         // total frame bytes exchanged between ranks
 	CommTime     time.Duration // rank 0's wall time inside collectives
+
+	// Interrupted reports that Config.Ctx was cancelled and the cluster
+	// stopped in agreement at a checkpointed sweep boundary.
+	Interrupted bool
 }
 
 // CommPerSweep returns rank 0's average collective time per sweep.
@@ -140,6 +162,14 @@ type RankStats struct {
 	FinalS    float64
 	SentBytes int64
 	CommTime  time.Duration
+
+	// Interrupted reports a cluster-agreed cancellation stop; the rank
+	// wrote its boundary checkpoint before returning.
+	Interrupted bool
+
+	// ResumedFrom is the sweep boundary this rank rejoined from, or -1
+	// for a fresh start.
+	ResumedFrom int
 }
 
 // PartitionRanges returns exactly `ranks` contiguous vertex ranges
@@ -212,6 +242,7 @@ func RunMCMCPhase(bm *blockmodel.Blockmodel, mode Mode, cfg Config) (PhaseStats,
 	r0 := rankStats[0]
 	st.Sweeps = r0.Sweeps
 	st.Converged = r0.Converged
+	st.Interrupted = r0.Interrupted
 	st.Proposals = r0.Proposals
 	st.Accepts = r0.Accepts
 	st.TrafficBytes = cluster.TrafficBytes()
@@ -292,17 +323,115 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 		}
 	}
 
-	// Private replica built from the immutable graph and the starting
-	// membership.
-	replica, err := blockmodel.FromAssignment(g, membership, c, 1)
-	if err != nil {
-		return st, err
+	// Rejoin negotiation: with Ckpt.Resume set, the ranks allgather the
+	// sweep boundaries each can actually load and rejoin from the newest
+	// boundary common to all. A restarted rank typically trails its
+	// peers by a generation (it died mid-interval), which is exactly why
+	// the Policy retains several generations. No common boundary — e.g.
+	// an empty directory on a fresh rank — falls back to a fresh start
+	// on every rank, which is always safe: the phase is deterministic.
+	var replica *blockmodel.Blockmodel
+	var prev float64
+	startSweep := 0
+	st.ResumedFrom = -1
+	var resumeCount int32
+	if cfg.Ckpt.Enabled() && cfg.Ckpt.Resume {
+		mine := cfg.Ckpt.RankSweeps(r)
+		m32 := make([]int32, len(mine))
+		for i, s := range mine {
+			m32[i] = int32(s)
+		}
+		lists := comm.AllGatherInt32(m32)
+		common := -1
+		for _, s := range lists[0] {
+			inAll := true
+			for _, l := range lists[1:] {
+				found := false
+				for _, x := range l {
+					if x == s {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inAll = false
+					break
+				}
+			}
+			if inAll && int(s) > common {
+				common = int(s)
+			}
+		}
+		if common >= 0 {
+			rst, lerr := cfg.Ckpt.LoadRank(r, common)
+			if lerr != nil {
+				return st, fmt.Errorf("dist: rank %d load checkpoint sweep %d: %w", r, common, lerr)
+			}
+			if rst.Seed != cfg.Seed || int(rst.Ranks) != ranks || Mode(rst.Mode) != mode ||
+				Partition(rst.Partition) != cfg.Partition || rst.Beta != cfg.Beta ||
+				rst.Threshold != cfg.Threshold || int(rst.MaxSweeps) != cfg.MaxSweeps ||
+				rst.HybridFraction != cfg.HybridFraction || rst.NumVertices != int64(n) ||
+				int(rst.Blocks) != c {
+				return st, fmt.Errorf("dist: rank %d checkpoint at sweep %d does not match this run's configuration", r, common)
+			}
+			replica, err = blockmodel.FromCheckpoint(g, rst.Membership, int(rst.Blocks), rst.PrevMDL, 1)
+			if err != nil {
+				return st, fmt.Errorf("dist: rank %d checkpoint at sweep %d: %w", r, common, err)
+			}
+			if err = rn.UnmarshalBinary(rst.RNG); err != nil {
+				return st, fmt.Errorf("dist: rank %d checkpoint RNG: %w", r, err)
+			}
+			startSweep = int(rst.Sweep)
+			prev = rst.PrevMDL
+			st.InitialS = rst.InitialS
+			st.Sweeps = startSweep
+			st.Proposals = rst.Proposals
+			st.Accepts = rst.Accepts
+			st.ResumedFrom = common
+			resumeCount = rst.ResumeCount + 1
+			cfg.Ckpt.NoteResume()
+		}
 	}
-	st.InitialS = replica.MDL()
-	prev := st.InitialS
-	st.FinalS = st.InitialS
 
-	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+	// Private replica built from the immutable graph and the starting
+	// membership (unless the rejoin above restored a newer boundary).
+	if replica == nil {
+		replica, err = blockmodel.FromAssignment(g, membership, c, 1)
+		if err != nil {
+			return st, err
+		}
+		st.InitialS = replica.MDL()
+		prev = st.InitialS
+	}
+	st.FinalS = prev
+
+	// writeCkpt persists this rank's state at a sweep boundary: the
+	// agreed membership (identical on all ranks after the rebuild) plus
+	// the rank-private chain position. cur is the boundary MDL — the
+	// next sweep's convergence baseline, and the value FromCheckpoint
+	// re-verifies bit-for-bit on rejoin. Write failures are routed to
+	// the Policy's OnError hook; losing a checkpoint never fails a rank.
+	writeCkpt := func(boundary int, cur float64) {
+		b, _ := rn.MarshalBinary()
+		_ = cfg.Ckpt.WriteRank(&snapshot.RankState{
+			Seed: cfg.Seed, Rank: int32(r), Ranks: int32(ranks),
+			Mode: int32(mode), Partition: int32(cfg.Partition),
+			Beta: cfg.Beta, Threshold: cfg.Threshold,
+			MaxSweeps: int32(cfg.MaxSweeps), HybridFraction: cfg.HybridFraction,
+			NumVertices: int64(n), Blocks: int32(replica.C),
+			Sweep: int32(boundary), PrevMDL: cur, InitialS: st.InitialS,
+			Proposals: st.Proposals, Accepts: st.Accepts,
+			ResumeCount: resumeCount,
+			RNG:         b, Membership: append([]int32(nil), replica.Assignment...),
+		})
+	}
+	// The stop protocol adds one allreduce per sweep, so it only runs
+	// when checkpointing or cancellation is actually configured — the
+	// wire traffic of a plain phase is unchanged. The gate must be
+	// uniform across ranks (it is part of the per-sweep protocol).
+	stopProtocol := cfg.Ckpt.Enabled() || cfg.Ctx != nil
+
+	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
 		sweepProps, sweepAccs := st.Proposals, st.Accepts
 		// Hybrid: rank 0 leads the serial pass over V*, then the
 		// resulting V* assignments travel with its segment gather
@@ -395,6 +524,29 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 			break
 		}
 		prev = cur
+
+		// Stop protocol: agree cluster-wide on whether any rank's
+		// context is cancelled. Every rank sees the same verdict, so
+		// either all write a checkpoint at this boundary and stop, or
+		// none do — a single rank can never wedge its peers inside a
+		// later collective. The periodic checkpoint needs no agreement:
+		// the sweep schedule is deterministic and shared.
+		if stopProtocol {
+			boundary := sweep + 1
+			var stop int64
+			if ctxCancelled(cfg.Ctx) {
+				stop = 1
+			}
+			stop = comm.AllReduceInt64(stop, maxInt64)
+			if stop != 0 {
+				writeCkpt(boundary, cur)
+				st.Interrupted = true
+				break
+			}
+			if cfg.Ckpt.Enabled() && cfg.Ckpt.Every > 0 && boundary%cfg.Ckpt.Every == 0 {
+				writeCkpt(boundary, cur)
+			}
+		}
 	}
 
 	copy(membership, replica.Assignment)
@@ -408,6 +560,28 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 	comm.Barrier()
 	st.CommTime = comm.CommTime()
 	return st, nil
+}
+
+// ctxCancelled polls a possibly-nil context without blocking.
+func ctxCancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// maxInt64 is the allreduce op for the stop protocol: any rank voting
+// to stop stops the cluster.
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // agreeOr is the allreduce op for values that must already be equal on

@@ -1,0 +1,169 @@
+package net
+
+import (
+	"context"
+	"errors"
+	stdnet "net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/snapshot"
+)
+
+// TestTCPDialAbortsOnCancel: cancelling the context during connection
+// establishment must cut the retry/backoff schedule short instead of
+// waiting out DialAttempts.
+func TestTCPDialAbortsOnCancel(t *testing.T) {
+	// Reserve a loopback port with no listener behind it: every dial
+	// attempt fails fast with a refusal, driving the backoff path.
+	dead, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	mine, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Dial(Config{
+		Rank: 0, Peers: []string{mine.Addr().String(), deadAddr},
+		Listener: mine, Seed: 1, Ctx: ctx,
+		DialAttempts: 10_000,
+		DialTimeout:  200 * time.Millisecond,
+		BackoffBase:  50 * time.Millisecond,
+		BackoffMax:   200 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a dead peer succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("dial error %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled dial took %v — retry schedule not aborted", elapsed)
+	}
+}
+
+// TestTCPKillRankAndRestart is the distributed acceptance gate: a
+// 2-rank TCP cluster checkpoints every sweep; rank 1 is hard-killed
+// mid-phase (its transport torn down with no warning), which fails
+// both ranks with a TransportError. Both processes then restart with
+// Resume set, rejoin from the newest common checkpoint over a fresh
+// TCP mesh, and must finish with final MDL and membership bit-identical
+// to an uninterrupted in-process run.
+func TestTCPKillRankAndRestart(t *testing.T) {
+	const ranks = 2
+	cfg := dist.DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MaxSweeps = 20
+
+	// Uninterrupted golden run (the in-process transport is
+	// bit-identical to TCP — TestTCPPhaseMatchesInProcess).
+	golden, _ := tcpModel(t, 61)
+	gst, err := dist.RunMCMCPhase(golden, dist.ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+
+	// Leg 1: run over TCP, kill rank 1 after its second checkpoint
+	// write by closing its transport underneath it.
+	bm, _ := tcpModel(t, 61)
+	cfgs := loopbackCluster(t, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := Dial(cfgs[r])
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			dcfg := cfg
+			dcfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1}
+			if r == 1 {
+				var writes atomic.Int32
+				dcfg.Ckpt.OnWrite = func(string) {
+					if writes.Add(1) == 2 {
+						tr.Close() // hard kill: no goodbye, no final collective
+					}
+				}
+			}
+			m := append([]int32(nil), bm.Assignment...)
+			_, errs[r] = dist.RunRank(dist.NewComm(tr), bm.G, m, bm.C, dist.ModeHybrid, dcfg)
+		}(r)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Fatal("killed rank 1 reported no error")
+	}
+	var te *dist.TransportError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("rank 1 error %v, want *dist.TransportError", errs[1])
+	}
+	if errs[0] == nil {
+		t.Fatal("rank 0 survived its peer's death — collectives should have failed")
+	}
+
+	// Leg 2: both processes restart, negotiate the newest common
+	// checkpoint over a fresh mesh, and run to completion.
+	cfgs = loopbackCluster(t, ranks)
+	memberships := make([][]int32, ranks)
+	stats := make([]dist.RankStats, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := Dial(cfgs[r])
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			dcfg := cfg
+			dcfg.Ckpt = snapshot.Policy{Dir: dir, Every: 1, Resume: true}
+			m := append([]int32(nil), bm.Assignment...)
+			stats[r], errs[r] = dist.RunRank(dist.NewComm(tr), bm.G, m, bm.C, dist.ModeHybrid, dcfg)
+			memberships[r] = m
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < ranks; r++ {
+		if errs[r] != nil {
+			t.Fatalf("restarted rank %d: %v", r, errs[r])
+		}
+		if stats[r].ResumedFrom < 1 {
+			t.Fatalf("restarted rank %d started fresh (ResumedFrom %d), want a rejoin", r, stats[r].ResumedFrom)
+		}
+		if stats[r].Interrupted {
+			t.Fatalf("restarted rank %d reported interrupted", r)
+		}
+		if stats[r].FinalS != gst.FinalS {
+			t.Fatalf("rank %d final MDL %v, want bit-identical %v", r, stats[r].FinalS, gst.FinalS)
+		}
+		if stats[r].Sweeps != gst.Sweeps {
+			t.Fatalf("rank %d total sweeps %d, want %d", r, stats[r].Sweeps, gst.Sweeps)
+		}
+		for v := range memberships[r] {
+			if memberships[r][v] != golden.Assignment[v] {
+				t.Fatalf("rank %d membership diverges at vertex %d", r, v)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package net
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -78,6 +79,15 @@ type Config struct {
 	// hits) in the metrics registry under this rank's label; the
 	// TrafficBytes/DialRetries accessors read the same counters.
 	Obs obs.Obs
+
+	// Ctx, when non-nil, aborts connection establishment promptly on
+	// cancellation: backoff sleeps return early and the accept loop is
+	// unblocked by closing the listener, so a SIGTERM during cluster
+	// boot never waits out the full retry schedule. It does not affect
+	// an established transport — per-operation I/O deadlines own that
+	// failure model, and the graceful checkpoint protocol needs in-
+	// flight collectives to complete after cancellation.
+	Ctx context.Context
 }
 
 func (cfg *Config) applyDefaults() {
@@ -161,6 +171,21 @@ func Dial(cfg Config) (*Transport, error) {
 			"send/recv operations that hit their I/O deadline", &t.deadline, rank)
 	}
 
+	// A cancelled context closes the listener, which fails the accept
+	// loop immediately instead of letting it wait out AcceptWait. The
+	// watcher is released as soon as Dial returns.
+	if cfg.Ctx != nil {
+		watchDone := make(chan struct{})
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				ln.Close()
+			case <-watchDone:
+			}
+		}()
+		defer close(watchDone)
+	}
+
 	// Accept the n-1 inbound connections in the background while we
 	// dial outbound, so no boot order deadlocks.
 	acceptDone := make(chan error, 1)
@@ -221,12 +246,18 @@ func (t *Transport) dialPeers(cfg Config) error {
 		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
 			if attempt > 0 {
 				// Full backoff plus up to 50% jitter so restarting
-				// ranks don't dial in lockstep.
+				// ranks don't dial in lockstep. A cancelled context
+				// cuts the sleep short and abandons the retry schedule.
 				sleep := backoff + time.Duration(jitter.Float64()*float64(backoff)/2)
-				time.Sleep(sleep)
+				if !sleepCtx(cfg.Ctx, sleep) {
+					return fmt.Errorf("dist/net: rank %d dial rank %d: %w", t.rank, peer, cfg.Ctx.Err())
+				}
 				if backoff *= 2; backoff > cfg.BackoffMax {
 					backoff = cfg.BackoffMax
 				}
+			}
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return fmt.Errorf("dist/net: rank %d dial rank %d: %w", t.rank, peer, cfg.Ctx.Err())
 			}
 			if attempt < cfg.FailFirstDials {
 				lastErr = fmt.Errorf("injected dial fault %d/%d", attempt+1, cfg.FailFirstDials)
@@ -256,6 +287,23 @@ func (t *Transport) dialPeers(cfg Config) error {
 		t.out[peer] = conn
 	}
 	return nil
+}
+
+// sleepCtx sleeps for d, returning false early if ctx is cancelled
+// first. A nil ctx is a plain sleep.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
 }
 
 // handshake layout: magic(4) | cluster size(4) | sender rank(4), big

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,6 +44,12 @@ type Config struct {
 	// harness launches inherits them. The zero value disables all
 	// instrumentation.
 	Obs obs.Obs
+
+	// Ctx, when non-nil, makes the suite interruptible: every sbp
+	// search the harness launches inherits it (stopping at the next
+	// sweep boundary once cancelled), and BestOf stops launching new
+	// runs. Results produced after cancellation are partial.
+	Ctx context.Context
 }
 
 // Default returns the configuration used by `cmd/experiments` without
@@ -58,6 +65,7 @@ func (c Config) options(alg mcmc.Algorithm, seed uint64) sbp.Options {
 	opts.MCMC.Workers = c.Workers
 	opts.Merge.Workers = c.Workers
 	opts.Obs = c.Obs
+	opts.Ctx = c.Ctx
 	return opts
 }
 
@@ -96,6 +104,9 @@ type RunOutcome struct {
 func (c Config) BestOf(name string, g *graph.Graph, truth []int32, alg mcmc.Algorithm) RunOutcome {
 	out := RunOutcome{Graph: name, Algorithm: alg, NMI: -1}
 	for i := 0; i < c.Runs; i++ {
+		if i > 0 && c.Ctx != nil && c.Ctx.Err() != nil {
+			break // keep the runs already finished; launch no more
+		}
 		opts := c.options(alg, c.Seed+uint64(1000*i)+uint64(alg))
 		res := sbp.Run(g, opts)
 		out.TotalMCMC += res.MCMCTime

@@ -51,16 +51,26 @@ func newPassPlan(bm *blockmodel.Blockmodel, vertices []int32, workers int, strat
 // private membership vector, then rebuilds the blockmodel in parallel.
 func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: AsyncGibbs, InitialS: bm.MDL()}
-	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
-	workerRNGs := splitRNGs(rn, workers)
+	workerRNGs := engineRNGs(&cfg, rn, workers)
 	scratches := newScratches(workers)
 	next := make([]int32, len(bm.Assignment))
 	plan := newPassPlan(bm, nil, workers, cfg.Partition)
+	// The pass mutates only next and the worker streams; bm stays at the
+	// boundary until the rebuild, so no membership rollback is needed.
+	gd := newGuard(&cfg, bm, rn, workerRNGs, &st, false, false)
+	startSweep, prev := gd.start()
+	done := gd.done()
 
-	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
+		if gd.enter(sweep, prev) {
+			return st
+		}
 		sp := po.sweep(sweep, len(plan.ranges), &st)
-		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+		if asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp, done) {
+			gd.abort(sweep)
+			return st
+		}
 		rebuild(bm, next, cfg.Workers, &st, sp)
 		st.Sweeps++
 		if cfg.Verify {
@@ -88,9 +98,16 @@ func runAsync(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) 
 // (the caller copies bm.Assignment or carries the vector forward).
 // Per-worker busy times feed the sweep probe, whose record must be at
 // least len(plan.ranges) wide.
-func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Config, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats, sp *sweepProbe) {
+//
+// done, when non-nil, is the cancellation channel: workers poll it (and
+// a shared abort flag) every 256 vertices and unwind early. The return
+// value reports whether the pass aborted; an aborted pass leaves next
+// partially written and the worker streams mid-sweep, so the caller
+// must discard both and roll back to the sweep boundary.
+func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Config, workerRNGs []*rng.RNG, scratches []*blockmodel.Scratch, st *Stats, sp *sweepProbe, done <-chan struct{}) bool {
 	copy(next, bm.Assignment)
 	var proposals, accepts atomic.Int64
+	var aborted atomic.Bool
 	workTimes := make([]float64, len(plan.ranges))
 	parallel.ForRanges(plan.ranges, func(lo, hi, w int) {
 		start := time.Now()
@@ -98,6 +115,9 @@ func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Confi
 		sc := scratches[w]
 		var localProp, localAcc int64
 		for i := lo; i < hi; i++ {
+			if done != nil && (i-lo)&255 == 0 && passCancelled(done, &aborted) {
+				break
+			}
 			v := i
 			if plan.vertices != nil {
 				v = int(plan.vertices[i])
@@ -135,6 +155,22 @@ func asyncPass(bm *blockmodel.Blockmodel, plan passPlan, next []int32, cfg Confi
 	st.Proposals += proposals.Load()
 	st.Accepts += accepts.Load()
 	st.Cost.AddParallel(sp.pass(workTimes))
+	return aborted.Load()
+}
+
+// passCancelled polls the cancellation channel and the shared abort
+// flag from inside a worker loop, spreading the abort to every worker.
+func passCancelled(done <-chan struct{}, aborted *atomic.Bool) bool {
+	if aborted.Load() {
+		return true
+	}
+	select {
+	case <-done:
+		aborted.Store(true)
+		return true
+	default:
+		return false
+	}
 }
 
 // rebuild reconstructs the blockmodel from the updated membership in

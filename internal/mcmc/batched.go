@@ -21,9 +21,8 @@ import (
 // sweeps this knob.
 func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: BatchedGibbs, InitialS: bm.MDL()}
-	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
-	workerRNGs := splitRNGs(rn, workers)
+	workerRNGs := engineRNGs(&cfg, rn, workers)
 	scratches := newScratches(workers)
 
 	batches := cfg.Batches
@@ -54,12 +53,24 @@ func runBatched(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs
 	}
 
 	next := make([]int32, n)
-	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+	// Mid-sweep rebuilds advance bm between batches, so cancellation
+	// rolls the membership back to the sweep boundary. The master
+	// stream is untouched inside a sweep (no serial pass).
+	gd := newGuard(&cfg, bm, rn, workerRNGs, &st, true, false)
+	startSweep, prev := gd.start()
+	done := gd.done()
+	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
+		if gd.enter(sweep, prev) {
+			return st
+		}
 		// Batches may partition into fewer ranges than workers; size the
 		// record for the widest batch so worker ids index it directly.
 		sp := po.sweep(sweep, workers, &st)
 		for _, plan := range plans {
-			asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+			if asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp, done) {
+				gd.abort(sweep)
+				return st
+			}
 			rebuild(bm, next, cfg.Workers, &st, sp)
 			if cfg.Verify {
 				// Per-batch, not just per-sweep: a corrupted mid-sweep

@@ -1,0 +1,242 @@
+package mcmc
+
+import (
+	"fmt"
+
+	"repro/internal/blockmodel"
+	"repro/internal/rng"
+)
+
+// Resume carries the exact chain position of an MCMC phase at a sweep
+// boundary: everything an engine needs to continue the phase
+// bit-identically to an uninterrupted run. A record is produced by the
+// Config.OnCheckpoint hook and consumed via Config.Resume.
+type Resume struct {
+	// Sweep is the next sweep index to execute.
+	Sweep int
+	// PrevMDL is the convergence baseline: the description length after
+	// sweep Sweep-1, which is also exactly the MDL of the boundary
+	// membership.
+	PrevMDL float64
+	// InitialS is the description length at the original phase start
+	// (not at the resume point), so resumed Stats report the true delta.
+	InitialS float64
+	// Proposals and Accepts are the phase accumulators at the boundary.
+	Proposals int64
+	Accepts   int64
+
+	// Membership is the boundary membership when it differs from the
+	// blockmodel the engine currently holds — set when a cancelled sweep
+	// had already mutated the blockmodel and the checkpoint rolls back
+	// to the sweep's start. Nil means the blockmodel's own assignment is
+	// the boundary state.
+	Membership []int32
+	// MasterRNG is the marshaled master stream at the boundary. Always
+	// set on capture; ignored on resume (the caller restores the master
+	// stream before invoking Run).
+	MasterRNG []byte
+	// WorkerRNGs holds one marshaled stream per worker (empty for the
+	// serial engine).
+	WorkerRNGs [][]byte
+}
+
+// guard coordinates cancellation and sweep-boundary checkpointing for
+// one engine run. Engines call enter at the top of every sweep and
+// abort when a cancelled worker pool unwound mid-sweep; the guard then
+// rolls the phase back to the state it saved before the sweep started
+// mutating anything, so every checkpoint — periodic or cancellation —
+// is a clean sweep boundary. When neither a context nor a checkpoint
+// hook is configured every method is a cheap no-op and the engine's
+// RNG consumption is untouched.
+type guard struct {
+	cfg *Config
+	bm  *blockmodel.Blockmodel
+	rn  *rng.RNG
+	st  *Stats
+
+	workerRNGs []*rng.RNG
+	startSweep int
+
+	// What the engine mutates mid-sweep, and therefore what must be
+	// saved at the sweep top to roll a cancelled sweep back.
+	saveMembership bool // engine mutates bm.Assignment before the boundary rebuild
+	saveMaster     bool // engine consumes the master stream inside the sweep
+
+	savedPrev       float64
+	savedMembership []int32
+	savedMaster     []byte
+	savedWorkers    [][]byte
+	savedProposals  int64
+	savedAccepts    int64
+}
+
+func newGuard(cfg *Config, bm *blockmodel.Blockmodel, rn *rng.RNG, workerRNGs []*rng.RNG, st *Stats, saveMembership, saveMaster bool) *guard {
+	return &guard{
+		cfg: cfg, bm: bm, rn: rn, st: st, workerRNGs: workerRNGs,
+		saveMembership: saveMembership, saveMaster: saveMaster,
+	}
+}
+
+// start applies a resume record (if any) and returns the first sweep
+// index with the convergence baseline for the engine loop.
+func (g *guard) start() (startSweep int, prev float64) {
+	r := g.cfg.Resume
+	if r == nil {
+		return 0, g.st.InitialS
+	}
+	g.st.InitialS = r.InitialS
+	g.st.Sweeps = r.Sweep
+	g.st.Proposals = r.Proposals
+	g.st.Accepts = r.Accepts
+	g.startSweep = r.Sweep
+	return r.Sweep, r.PrevMDL
+}
+
+// active reports whether sweep-boundary checkpoints are being captured.
+func (g *guard) active() bool { return g.cfg.OnCheckpoint != nil }
+
+// done exposes the cancellation channel for worker-pool polling (nil
+// when no context is configured, which disables polling entirely).
+func (g *guard) done() <-chan struct{} {
+	if g.cfg.Ctx == nil {
+		return nil
+	}
+	return g.cfg.Ctx.Done()
+}
+
+// cancelled polls the context without blocking.
+func (g *guard) cancelled() bool {
+	select {
+	case <-g.done():
+		return true
+	default:
+		return false
+	}
+}
+
+// enter runs the top-of-sweep protocol: emit a checkpoint and stop if
+// the context is cancelled; emit a periodic checkpoint if the sweep
+// hits the configured interval; save the rollback state a mid-sweep
+// abort would need. It returns true when the phase must stop.
+func (g *guard) enter(sweep int, prev float64) (stop bool) {
+	if g.cfg.Ctx != nil && g.cancelled() {
+		g.emit(sweep, prev)
+		g.st.Interrupted = true
+		g.st.FinalS = prev
+		return true
+	}
+	if g.active() && g.cfg.CheckpointEvery > 0 && sweep > g.startSweep && sweep%g.cfg.CheckpointEvery == 0 {
+		g.emit(sweep, prev)
+	}
+	if g.cfg.Ctx != nil {
+		g.savedPrev = prev
+		g.savedProposals, g.savedAccepts = g.st.Proposals, g.st.Accepts
+	}
+	if g.active() && g.cfg.Ctx != nil {
+		if g.saveMembership {
+			if cap(g.savedMembership) < len(g.bm.Assignment) {
+				g.savedMembership = make([]int32, len(g.bm.Assignment))
+			}
+			copy(g.savedMembership, g.bm.Assignment)
+		}
+		if g.saveMaster {
+			g.savedMaster, _ = g.rn.MarshalBinary()
+		}
+		if len(g.workerRNGs) > 0 {
+			if g.savedWorkers == nil {
+				g.savedWorkers = make([][]byte, len(g.workerRNGs))
+			}
+			for i, w := range g.workerRNGs {
+				g.savedWorkers[i], _ = w.MarshalBinary()
+			}
+		}
+	}
+	return false
+}
+
+// abort finalizes a sweep that was cancelled after it started mutating
+// state: the checkpoint is taken from the rollback snapshot enter
+// saved, so it lands on the boundary of the aborted sweep.
+func (g *guard) abort(sweep int) {
+	var membership []int32
+	if g.saveMembership {
+		membership = g.savedMembership[:len(g.bm.Assignment)]
+	}
+	if g.active() && g.cfg.Ctx != nil {
+		g.emitSaved(sweep, membership)
+	}
+	g.st.Interrupted = true
+	g.st.FinalS = g.savedPrev
+}
+
+// emitSaved emits a checkpoint from the pre-sweep rollback snapshot.
+func (g *guard) emitSaved(sweep int, membership []int32) {
+	r := &Resume{
+		Sweep:     sweep,
+		PrevMDL:   g.savedPrev,
+		InitialS:  g.st.InitialS,
+		Proposals: g.savedProposals,
+		Accepts:   g.savedAccepts,
+	}
+	if membership != nil {
+		r.Membership = append([]int32(nil), membership...)
+	}
+	if g.saveMaster {
+		r.MasterRNG = append([]byte(nil), g.savedMaster...)
+	} else {
+		r.MasterRNG, _ = g.rn.MarshalBinary()
+	}
+	if g.savedWorkers != nil {
+		r.WorkerRNGs = make([][]byte, len(g.savedWorkers))
+		for i, b := range g.savedWorkers {
+			r.WorkerRNGs[i] = append([]byte(nil), b...)
+		}
+	}
+	g.cfg.OnCheckpoint(r)
+}
+
+// emit captures a checkpoint from live state at a clean boundary: the
+// blockmodel's own assignment is the boundary membership, and every
+// stream is exactly at its boundary position.
+func (g *guard) emit(sweep int, prev float64) {
+	if !g.active() {
+		return
+	}
+	r := &Resume{
+		Sweep:     sweep,
+		PrevMDL:   prev,
+		InitialS:  g.st.InitialS,
+		Proposals: g.st.Proposals,
+		Accepts:   g.st.Accepts,
+	}
+	r.MasterRNG, _ = g.rn.MarshalBinary()
+	if len(g.workerRNGs) > 0 {
+		r.WorkerRNGs = make([][]byte, len(g.workerRNGs))
+		for i, w := range g.workerRNGs {
+			r.WorkerRNGs[i], _ = w.MarshalBinary()
+		}
+	}
+	g.cfg.OnCheckpoint(r)
+}
+
+// engineRNGs returns the per-worker streams: split fresh from the
+// master on a normal start, or restored from the resume record without
+// touching the master stream (which the caller has already positioned
+// at the boundary).
+func engineRNGs(cfg *Config, rn *rng.RNG, workers int) []*rng.RNG {
+	r := cfg.Resume
+	if r == nil {
+		return splitRNGs(rn, workers)
+	}
+	if len(r.WorkerRNGs) != workers {
+		panic(fmt.Sprintf("mcmc: resume carries %d worker streams for %d workers", len(r.WorkerRNGs), workers))
+	}
+	out := make([]*rng.RNG, workers)
+	for i, b := range r.WorkerRNGs {
+		out[i] = &rng.RNG{}
+		if err := out[i].UnmarshalBinary(b); err != nil {
+			panic(fmt.Sprintf("mcmc: invalid resume worker stream %d: %v", i, err))
+		}
+	}
+	return out
+}

@@ -19,23 +19,34 @@ import (
 // V* moves. The blockmodel is then rebuilt from the combined membership.
 func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: Hybrid, InitialS: bm.MDL()}
-	prev := st.InitialS
 	workers := parallel.DefaultWorkers(cfg.Workers)
-	workerRNGs := splitRNGs(rn, workers)
+	workerRNGs := engineRNGs(&cfg, rn, workers)
 	scratches := newScratches(workers)
 	serialScratch := blockmodel.NewScratch()
 
 	vStar, vMinus := SplitByDegree(bm, cfg.HybridFraction)
 	next := make([]int32, len(bm.Assignment))
 	plan := newPassPlan(bm, vMinus, workers, cfg.Partition)
+	// The serial V* pass mutates bm live and consumes the master stream
+	// mid-sweep, so cancellation rolls both back to the sweep boundary.
+	gd := newGuard(&cfg, bm, rn, workerRNGs, &st, true, true)
+	startSweep, prev := gd.start()
+	done := gd.done()
 
-	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
+		if gd.enter(sweep, prev) {
+			return st
+		}
 		sp := po.sweep(sweep, len(plan.ranges), &st)
 
 		// Synchronous pass over V*: identical to the serial engine's
 		// inner loop, charged as serial work.
 		start := time.Now()
-		for _, v := range vStar {
+		for i, v := range vStar {
+			if done != nil && i&255 == 0 && gd.cancelled() {
+				gd.abort(sweep)
+				return st
+			}
 			serialStep(bm, int(v), cfg, rn, serialScratch, &st)
 		}
 		ns := float64(time.Since(start).Nanoseconds())
@@ -43,7 +54,10 @@ func runHybrid(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs)
 		st.Cost.AddSerial(ns)
 
 		// Asynchronous pass over V⁻ against the post-V* blockmodel.
-		asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp)
+		if asyncPass(bm, plan, next, cfg, workerRNGs, scratches, &st, sp, done) {
+			gd.abort(sweep)
+			return st
+		}
 		rebuild(bm, next, cfg.Workers, &st, sp)
 
 		st.Sweeps++

@@ -18,6 +18,7 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -143,6 +144,33 @@ type Config struct {
 	// state, so enabling it leaves results bit-identical.
 	Obs obs.Obs
 
+	// Ctx, when non-nil, makes the phase cancellable: it is polled at
+	// every sweep boundary and inside the parallel worker pools, and on
+	// cancellation the engine stops at (or rolls back to) the current
+	// sweep's boundary, marks Stats.Interrupted, and — when OnCheckpoint
+	// is set — delivers a final boundary checkpoint. Nil disables all
+	// polling.
+	Ctx context.Context
+
+	// CheckpointEvery asks for a periodic OnCheckpoint delivery at the
+	// top of every CheckpointEvery-th sweep (<= 0 disables periodic
+	// captures; cancellation captures still fire).
+	CheckpointEvery int
+
+	// OnCheckpoint, when non-nil, receives sweep-boundary Resume
+	// records. The record and everything it references is owned by the
+	// callee; engines never touch it again. Called synchronously from
+	// the engine goroutine.
+	OnCheckpoint func(*Resume)
+
+	// Resume, when non-nil, continues a phase from a checkpoint instead
+	// of starting fresh: the blockmodel must already hold the boundary
+	// state, the master RNG must already be restored to its boundary
+	// position, and the worker streams are taken from the record rather
+	// than split from the master. Callers validate the record against
+	// the configuration (worker count, stream sizes) before running.
+	Resume *Resume
+
 	// Verify enables oracle cross-checking (internal/check): every
 	// evaluated proposal's incremental ΔS and Hastings correction are
 	// compared against a dense apply-and-recompute reference, and the
@@ -177,6 +205,11 @@ type Stats struct {
 	InitialS  float64 // MDL before the phase
 	FinalS    float64 // MDL after the phase
 	Converged bool    // threshold reached before MaxSweeps
+
+	// Interrupted reports that Config.Ctx was cancelled and the phase
+	// stopped at a sweep boundary before converging. When checkpointing
+	// was configured, the boundary state went to OnCheckpoint.
+	Interrupted bool
 
 	// PerSweep holds one record per executed sweep: the MDL trajectory,
 	// proposal counts, and the per-worker busy times the imbalance
@@ -316,13 +349,22 @@ func converged(prev, cur, threshold float64) bool {
 // sees the exact current state.
 func runSerial(bm *blockmodel.Blockmodel, cfg Config, rn *rng.RNG, po *phaseObs) Stats {
 	st := Stats{Algorithm: SerialMH, InitialS: bm.MDL()}
-	prev := st.InitialS
 	n := bm.G.NumVertices()
 	sc := blockmodel.NewScratch()
-	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+	gd := newGuard(&cfg, bm, rn, nil, &st, true, true)
+	startSweep, prev := gd.start()
+	done := gd.done()
+	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
+		if gd.enter(sweep, prev) {
+			return st
+		}
 		sp := po.sweep(sweep, 0, &st)
 		start := time.Now()
 		for v := 0; v < n; v++ {
+			if done != nil && v&1023 == 0 && gd.cancelled() {
+				gd.abort(sweep)
+				return st
+			}
 			serialStep(bm, v, cfg, rn, sc, &st)
 		}
 		ns := float64(time.Since(start).Nanoseconds())

@@ -10,6 +10,7 @@
 package merge
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,13 @@ type Config struct {
 	// value disables all instrumentation; metrics and spans never touch
 	// the RNG, so results are bit-identical with telemetry on or off.
 	Obs obs.Obs
+
+	// Ctx, when non-nil, makes the phase cancellable. It is checked at
+	// phase entry and again after the proposal stage, before any merge
+	// is applied — a cancelled phase returns with Stats.Interrupted set
+	// and the blockmodel untouched, so the caller's iteration-boundary
+	// checkpoint remains the exact resume point.
+	Ctx context.Context
 }
 
 // DefaultConfig returns the merge configuration used by the reference
@@ -54,6 +62,10 @@ type Stats struct {
 	Applied   int // merges actually applied
 	Proposals int64
 	Cost      parallel.CostModel
+
+	// Interrupted reports that Config.Ctx was cancelled and the phase
+	// returned before mutating the blockmodel.
+	Interrupted bool
 }
 
 // candidate is the best merge found for one source block.
@@ -69,6 +81,10 @@ type candidate struct {
 func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) Stats {
 	st := Stats{Requested: numToMerge}
 	if numToMerge <= 0 || bm.C < 2 {
+		return st
+	}
+	if cancelled(cfg.Ctx) {
+		st.Interrupted = true
 		return st
 	}
 	reg := cfg.Obs.Metrics
@@ -120,6 +136,16 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 		totalWork += t
 	}
 	st.Cost.AddParallel(totalWork)
+
+	// Last cancellation point: past here the blockmodel is mutated, so a
+	// checkpointed caller could no longer resume from the iteration
+	// boundary. The proposal work above only consumed worker streams
+	// split from rn — a resumed phase re-splits from the restored master
+	// and replays identically.
+	if cancelled(cfg.Ctx) {
+		st.Interrupted = true
+		return st
+	}
 
 	// Serial stage: sort by ΔMDL and apply greedily, chasing earlier
 	// merges with a union-find so that "merge r into s" still works after
@@ -175,6 +201,19 @@ func Phase(bm *blockmodel.Blockmodel, numToMerge int, cfg Config, rn *rng.RNG) S
 			obs.F("blocks", bm.NumNonEmptyBlocks()))
 	}
 	return st
+}
+
+// cancelled polls a possibly-nil context without blocking.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // unionFind is a plain disjoint-set forest with path halving. merge makes

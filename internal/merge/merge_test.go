@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/blockmodel"
@@ -174,5 +175,37 @@ func TestPhaseClampsToAvailableBlocks(t *testing.T) {
 	}
 	if err := bm.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPhaseCancelledAtEntry(t *testing.T) {
+	bm, _ := testModel(t, 9)
+	before := bm.Clone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.Ctx = ctx
+	st := Phase(bm, 10, cfg, rng.New(1))
+	if !st.Interrupted || st.Applied != 0 {
+		t.Fatalf("cancelled phase: interrupted=%v applied=%d", st.Interrupted, st.Applied)
+	}
+	if bm.C != before.C {
+		t.Fatal("cancelled phase mutated the blockmodel")
+	}
+	for v := range before.Assignment {
+		if bm.Assignment[v] != before.Assignment[v] {
+			t.Fatalf("cancelled phase moved vertex %d", v)
+		}
+	}
+}
+
+func TestPhaseNilCtxRuns(t *testing.T) {
+	bm, _ := testModel(t, 10)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	st := Phase(bm, 10, cfg, rng.New(1))
+	if st.Interrupted || st.Applied == 0 {
+		t.Fatalf("nil-ctx phase: interrupted=%v applied=%d", st.Interrupted, st.Applied)
 	}
 }

@@ -12,7 +12,11 @@
 // The zero value is not usable; construct with New.
 package rng
 
-import "math"
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
 
 // RNG is a xoshiro256** generator. It is NOT safe for concurrent use;
 // use Split to derive one generator per goroutine.
@@ -50,6 +54,45 @@ func (r *RNG) Split() *RNG {
 	child.s2 = splitMix64(&x)
 	child.s3 = splitMix64(&x)
 	return child
+}
+
+// MarshaledSize is the length of a marshaled RNG state in bytes.
+const MarshaledSize = 32
+
+// ErrBadState is returned by UnmarshalBinary for byte slices that cannot
+// be a live xoshiro256** state: wrong length, or the all-zero state (the
+// one fixed point of the generator, which no seeded stream ever visits).
+var ErrBadState = errors.New("rng: invalid serialized state")
+
+// MarshalBinary serializes the generator's exact stream position as 32
+// big-endian bytes. A generator restored with UnmarshalBinary produces
+// the bit-identical continuation of the stream — the property the
+// checkpoint/resume subsystem depends on.
+func (r *RNG) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, MarshaledSize)
+	binary.BigEndian.PutUint64(buf[0:], r.s0)
+	binary.BigEndian.PutUint64(buf[8:], r.s1)
+	binary.BigEndian.PutUint64(buf[16:], r.s2)
+	binary.BigEndian.PutUint64(buf[24:], r.s3)
+	return buf, nil
+}
+
+// UnmarshalBinary restores a stream position written by MarshalBinary.
+// It rejects inputs of the wrong length and the degenerate all-zero
+// state with ErrBadState instead of silently producing a stuck stream.
+func (r *RNG) UnmarshalBinary(data []byte) error {
+	if len(data) != MarshaledSize {
+		return ErrBadState
+	}
+	s0 := binary.BigEndian.Uint64(data[0:])
+	s1 := binary.BigEndian.Uint64(data[8:])
+	s2 := binary.BigEndian.Uint64(data[16:])
+	s3 := binary.BigEndian.Uint64(data[24:])
+	if s0|s1|s2|s3 == 0 {
+		return ErrBadState
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

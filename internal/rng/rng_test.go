@@ -295,3 +295,87 @@ func BenchmarkPoissonLarge(b *testing.B) {
 		_ = r.Poisson(500)
 	}
 }
+
+func TestMarshalRoundTrip(t *testing.T) {
+	// The property checkpoint/resume depends on: after any number of
+	// draws, marshal → unmarshal yields a generator whose next 1000
+	// draws are bit-identical to the original's.
+	for _, warmup := range []int{0, 1, 7, 997} {
+		r := New(42)
+		for i := 0; i < warmup; i++ {
+			r.Uint64()
+		}
+		buf, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("warmup %d: marshal: %v", warmup, err)
+		}
+		if len(buf) != MarshaledSize {
+			t.Fatalf("warmup %d: marshaled %d bytes, want %d", warmup, len(buf), MarshaledSize)
+		}
+		restored := &RNG{}
+		if err := restored.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("warmup %d: unmarshal: %v", warmup, err)
+		}
+		for i := 0; i < 1000; i++ {
+			if a, b := r.Uint64(), restored.Uint64(); a != b {
+				t.Fatalf("warmup %d: streams diverged at draw %d: %x != %x", warmup, i, a, b)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTripMixedDraws(t *testing.T) {
+	// Round-trip mid-stream and continue with the full draw mix used by
+	// the engines (floats, bounded ints, shuffles), not just Uint64.
+	r := New(7)
+	for i := 0; i < 100; i++ {
+		r.Float64()
+		r.Intn(17)
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &RNG{}
+	if err := restored.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Float64(), restored.Float64(); a != b {
+			t.Fatalf("Float64 diverged at %d: %v != %v", i, a, b)
+		}
+		if a, b := r.Intn(1000), restored.Intn(1000); a != b {
+			t.Fatalf("Intn diverged at %d: %d != %d", i, a, b)
+		}
+	}
+	pa, pb := r.Perm(50), restored.Perm(50)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("Perm diverged at %d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadState(t *testing.T) {
+	r := &RNG{}
+	for _, bad := range [][]byte{
+		nil,
+		{},
+		make([]byte, MarshaledSize-1),
+		make([]byte, MarshaledSize+1),
+		make([]byte, MarshaledSize), // all-zero: the xoshiro fixed point
+	} {
+		if err := r.UnmarshalBinary(bad); err != ErrBadState {
+			t.Errorf("UnmarshalBinary(%d bytes) = %v, want ErrBadState", len(bad), err)
+		}
+	}
+	// A rejected unmarshal must not clobber an existing state.
+	live := New(3)
+	want := *live
+	if err := live.UnmarshalBinary(make([]byte, MarshaledSize)); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+	if *live != want {
+		t.Fatal("failed unmarshal mutated the receiver")
+	}
+}

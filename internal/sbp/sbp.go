@@ -9,6 +9,8 @@
 package sbp
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 )
 
 // Options configures a full SBP run.
@@ -67,6 +70,21 @@ type Options struct {
 	// touches the RNG tree, so a run's results are bit-identical with
 	// telemetry on or off.
 	Obs obs.Obs
+
+	// Ctx, when non-nil, makes the whole search cancellable: it is
+	// threaded into the merge phase and the MCMC engines' worker pools,
+	// and on cancellation the run stops at the nearest clean boundary
+	// (an outer-iteration top or an MCMC sweep boundary), writes a final
+	// checkpoint when Checkpoint is enabled, and returns the best state
+	// found so far with Result.Interrupted set.
+	Ctx context.Context
+
+	// Checkpoint configures durable checkpoints of the search state
+	// (see internal/snapshot). The zero value disables checkpointing.
+	// Checkpoint writes never touch the RNG tree, so a checkpointed
+	// run's results are bit-identical with checkpointing on or off —
+	// and a resumed run is bit-identical to an uninterrupted one.
+	Checkpoint snapshot.Policy
 }
 
 // DefaultOptions returns options matching the paper's setup with the
@@ -121,6 +139,16 @@ type Result struct {
 	// Both are 0 when no parallel pass ran (serial engine).
 	MaxImbalance  float64
 	MeanImbalance float64
+
+	// Interrupted reports that Options.Ctx was cancelled before the
+	// search converged: Best is the best state found so far, and — when
+	// checkpointing was enabled — the on-disk checkpoint resumes the
+	// search bit-identically.
+	Interrupted bool
+
+	// Resumed reports that this result continued from a checkpoint; its
+	// Iterations and time totals cover only the post-resume portion.
+	Resumed bool
 }
 
 // bracketEntry is one endpoint of the golden-section search: a blockmodel
@@ -207,6 +235,15 @@ func (b *bracket) done() bool {
 // Run performs community detection on g and returns the best blockmodel
 // found (lowest MDL over the whole search).
 func Run(g *graph.Graph, opts Options) *Result {
+	res, _ := run(g, opts, nil)
+	return res
+}
+
+// run is the shared body of Run and Resume: a fresh search when rs is
+// nil, a continuation of the checkpointed one otherwise. It errors only
+// on the resume path (checkpoint/graph mismatch); a fresh run always
+// returns a result.
+func run(g *graph.Graph, opts Options, rs *snapshot.SearchState) (*Result, error) {
 	start := time.Now()
 	rn := rng.New(opts.Seed)
 	res := &Result{}
@@ -214,6 +251,20 @@ func Run(g *graph.Graph, opts Options) *Result {
 	if opts.Verify {
 		opts.MCMC.Verify = true
 		opts.Merge.Verify = true
+	}
+
+	// Pin the worker widths that shape the RNG stream layout. A fresh
+	// run resolves the GOMAXPROCS default once so the values can be
+	// checkpointed; a resumed run replays the checkpointed widths, so
+	// the machine's own core count can never break bit-identity.
+	if rs != nil {
+		opts.MCMC.Workers = int(rs.MCMCWorkers)
+		opts.Merge.Workers = int(rs.MergeWorkers)
+	} else {
+		if opts.Algorithm != mcmc.SerialMH {
+			opts.MCMC.Workers = parallel.DefaultWorkers(opts.MCMC.Workers)
+		}
+		opts.Merge.Workers = parallel.DefaultWorkers(opts.Merge.Workers)
 	}
 
 	// Run-level telemetry. Iteration gauges track the search live; the
@@ -230,43 +281,122 @@ func Run(g *graph.Graph, opts Options) *Result {
 		obs.F("vertices", g.NumVertices()), obs.F("edges", g.NumEdges()),
 		obs.F("seed", opts.Seed))
 
-	cur := blockmodel.Identity(g, opts.MCMC.Workers)
-	if opts.Verify {
-		check.MustInvariants(cur, "initial identity state")
-	}
 	var imbSum float64
 	var imbSweeps int
 	br := &bracket{}
-	br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
+	iterStart := 0
+	var pending *snapshot.PhaseState
+	if rs == nil {
+		cur := blockmodel.Identity(g, opts.MCMC.Workers)
+		if opts.Verify {
+			check.MustInvariants(cur, "initial identity state")
+		}
+		br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
+	} else {
+		if err := restoreBracket(br, rs, g, opts.Merge.Workers); err != nil {
+			return nil, err
+		}
+		if err := rn.UnmarshalBinary(rs.MasterRNG); err != nil {
+			return nil, fmt.Errorf("sbp: checkpoint master RNG: %w", err)
+		}
+		iterStart = int(rs.Iter)
+		pending = rs.Phase
+		res.Resumed = true
+	}
+	ck := newCheckpointer(g, &opts, rs)
 
 	// The reduction phase takes O(log V) iterations and the golden-section
 	// phase O(log V) more; the cap only guards against non-convergence
 	// when MCMC compaction keeps landing on already-probed counts.
 	maxIter := 16 + 4*bits64(uint64(g.NumVertices())+1)
-	for iter := 0; !br.done() && iter < maxIter; iter++ {
-		from, target := nextTarget(br, opts)
-		if from == nil || target < 1 || target >= from.c {
+	iter := iterStart
+	for ; !(rs != nil && rs.Done) && !br.done() && iter < maxIter; iter++ {
+		// Iteration boundary: the clean cancellation point and the
+		// default checkpoint granularity. Nothing this iteration will
+		// consume has been touched yet, so the written state resumes
+		// bit-identically.
+		if cancelled(opts.Ctx) {
+			ck.writeIteration(br, rn, iter, false)
+			res.Interrupted = true
 			break
 		}
-		work := from.bm.Clone()
+
+		var (
+			fromC, target int
+			work          *blockmodel.Blockmodel
+			ms            merge.Stats
+			mergeTime     time.Duration
+			resume        *mcmc.Resume
+		)
+		if pending != nil {
+			// Mid-iteration resume: the merge phase already ran before
+			// the checkpoint; rebuild the working state at the recorded
+			// sweep boundary and hand the engine its chain position.
+			p := pending
+			pending = nil
+			var err error
+			fromC, target, work, ms, resume, err = restorePhase(g, &opts, p)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			ck.writeIteration(br, rn, iter, false)
+			from, t := nextTarget(br, opts)
+			if from == nil || t < 1 || t >= from.c {
+				break
+			}
+			fromC, target = from.c, t
+			work = from.bm.Clone()
+		}
 
 		iterSpan := opts.Obs.WithSpan(runSpan).StartSpan("iteration",
-			obs.F("iter", iter), obs.F("from_blocks", from.c), obs.F("target_blocks", target))
+			obs.F("iter", iter), obs.F("from_blocks", fromC), obs.F("target_blocks", target))
 		iterObs := opts.Obs.WithSpan(iterSpan)
 
-		// Merge phase: reduce to the target community count.
-		mergeCfg := opts.Merge
-		mergeCfg.Obs = iterObs
-		mergeStart := time.Now()
-		ms := merge.Phase(work, from.c-target, mergeCfg, rn)
-		mergeTime := time.Since(mergeStart)
+		if resume == nil {
+			// Merge phase: reduce to the target community count.
+			mergeCfg := opts.Merge
+			mergeCfg.Obs = iterObs
+			mergeCfg.Ctx = opts.Ctx
+			mergeStart := time.Now()
+			ms = merge.Phase(work, fromC-target, mergeCfg, rn)
+			mergeTime = time.Since(mergeStart)
+			if ms.Interrupted {
+				// The blockmodel is untouched; the iteration checkpoint
+				// written above is the exact resume point.
+				if iterSpan != nil {
+					iterSpan.End(obs.F("interrupted", true))
+				}
+				res.Interrupted = true
+				break
+			}
+		}
 
 		// MCMC phase: refine vertex memberships at this community count.
 		mcmcCfg := opts.MCMC
 		mcmcCfg.Obs = iterObs
+		mcmcCfg.Ctx = opts.Ctx
+		mcmcCfg.Resume = resume
+		if ck != nil {
+			itc, fc, tc, msc := iter, fromC, target, ms
+			mcmcCfg.CheckpointEvery = ck.pol.Every
+			mcmcCfg.OnCheckpoint = func(r *mcmc.Resume) {
+				ck.writePhase(br, itc, fc, tc, work, msc, r)
+			}
+		}
 		mcmcStart := time.Now()
 		cs := mcmc.Run(work, opts.Algorithm, mcmcCfg, rn)
 		mcmcTime := time.Since(mcmcStart)
+		if cs.Interrupted {
+			// The engine already delivered its sweep-boundary checkpoint
+			// through OnCheckpoint; work may be mid-sweep, so it is
+			// discarded rather than inserted.
+			if iterSpan != nil {
+				iterSpan.End(obs.F("interrupted", true), obs.F("sweeps", cs.Sweeps))
+			}
+			res.Interrupted = true
+			break
+		}
 		work.Compact(opts.MCMC.Workers)
 		if opts.Verify {
 			check.MustInvariants(work, "post-compaction invariants")
@@ -274,7 +404,7 @@ func Run(g *graph.Graph, opts Options) *Result {
 
 		mdl := work.MDL()
 		it := IterationStats{
-			StartBlocks:  from.c,
+			StartBlocks:  fromC,
 			TargetBlocks: target,
 			Merge:        ms,
 			MCMC:         cs,
@@ -316,6 +446,11 @@ func Run(g *graph.Graph, opts Options) *Result {
 	if imbSweeps > 0 {
 		res.MeanImbalance = imbSum / float64(imbSweeps)
 	}
+	if !res.Interrupted {
+		// Final checkpoint: marks the search done, so a resume after
+		// completion reconstructs the result instead of searching again.
+		ck.writeIteration(br, rn, iter, true)
+	}
 	best := br.mid
 	res.Best = best.bm
 	res.MDL = best.mdl
@@ -328,7 +463,20 @@ func Run(g *graph.Graph, opts Options) *Result {
 		runSpan.End(obs.F("mdl", res.MDL), obs.F("blocks", res.NumCommunities),
 			obs.F("iterations", len(res.Iterations)), obs.F("sweeps", res.TotalMCMCSweeps))
 	}
-	return res
+	return res, nil
+}
+
+// cancelled polls a possibly-nil context without blocking.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // bits64 returns the number of bits needed to represent x (≈ log2).

@@ -1,0 +1,150 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt reports a payload that passed the container checksum but
+// does not decode as the declared state kind — a logic-level corruption
+// (or a crafted file), distinct from the bit-level ErrChecksum.
+var ErrCorrupt = errors.New("snapshot: corrupt payload")
+
+// ErrKind reports a structurally valid snapshot of the wrong kind, e.g.
+// a per-rank checkpoint offered where a search checkpoint is expected.
+var ErrKind = errors.New("snapshot: wrong state kind")
+
+// enc builds a little-endian payload. The zero value is ready to use.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// bytes writes a length-prefixed byte slice.
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// int32s writes a length-prefixed []int32.
+func (e *enc) int32s(v []int32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+// dec consumes a little-endian payload with a sticky error: after the
+// first short read every accessor returns a zero value and the error is
+// reported once at the end. Nothing here panics on truncated or
+// oversized input — corrupt payloads surface as ErrCorrupt.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) || d.off+n < d.off {
+		d.fail("short read")
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *dec) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *dec) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *dec) i32() int32    { return int32(d.u32()) }
+func (d *dec) i64() int64    { return int64(d.u64()) }
+func (d *dec) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *dec) boolean() bool { return d.u8() != 0 }
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > len(d.b)-d.off {
+		d.fail("byte slice longer than payload")
+		return nil
+	}
+	return append([]byte(nil), d.take(n)...)
+}
+
+func (d *dec) int32s() []int32 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n*4 > len(d.b)-d.off || n < 0 {
+		d.fail("int32 slice longer than payload")
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.i32()
+	}
+	return out
+}
+
+// done verifies the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}

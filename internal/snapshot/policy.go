@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// DefaultRetain is how many checkpoint generations per rank a Policy
+// keeps when Retain is unset. Distributed rejoin needs history: a rank
+// hard-killed mid-write restarts one generation behind its peers, so
+// the peers must still hold the older common sweep.
+const DefaultRetain = 4
+
+// Policy says where, how often and how durably a run checkpoints.
+// The zero value disables checkpointing entirely (Enabled() == false)
+// and every method degrades to a no-op, so callers thread a Policy
+// unconditionally.
+type Policy struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+
+	// Every is the sweep interval between mid-phase checkpoints (<= 0
+	// means iteration/phase boundaries only).
+	Every int
+
+	// Retain bounds the per-rank checkpoint generations kept on disk
+	// (<= 0 means DefaultRetain). The single-file search checkpoint is
+	// unaffected — it is atomically replaced in place.
+	Retain int
+
+	// Resume asks the run to continue from the newest usable checkpoint
+	// in Dir instead of starting fresh.
+	Resume bool
+
+	// OnWrite, when non-nil, observes every durably committed
+	// checkpoint path — the hook the crash-injection tests use to kill
+	// a run after its k-th write.
+	OnWrite func(path string)
+
+	// OnError, when non-nil, observes checkpoint write failures (the
+	// run continues; losing a checkpoint must never kill the search).
+	OnError func(err error)
+
+	// Obs feeds snapshot_writes_total / snapshot_bytes / resume_count
+	// to the metrics registry. The zero value is a no-op.
+	Obs obs.Obs
+}
+
+// Enabled reports whether checkpointing is on.
+func (p Policy) Enabled() bool { return p.Dir != "" }
+
+// SearchPath is the single-node search checkpoint file.
+func (p Policy) SearchPath() string { return filepath.Join(p.Dir, "search.ckpt") }
+
+// RankPath is the checkpoint file of one rank at one sweep boundary.
+func (p Policy) RankPath(rank, sweep int) string {
+	return filepath.Join(p.Dir, fmt.Sprintf("rank%04d-sweep%08d.ckpt", rank, sweep))
+}
+
+func (p Policy) retain() int {
+	if p.Retain <= 0 {
+		return DefaultRetain
+	}
+	return p.Retain
+}
+
+// commit writes a container durably at path, updates the counters and
+// fires the hooks. Failures are routed to OnError and returned.
+func (p Policy) commit(path string, payload []byte) error {
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		p.noteError(err)
+		return err
+	}
+	if err := WriteFile(path, payload); err != nil {
+		p.noteError(err)
+		return err
+	}
+	reg := p.Obs.Metrics
+	reg.Counter("snapshot_writes_total", "checkpoints durably written").Inc()
+	reg.Counter("snapshot_bytes", "checkpoint payload bytes written").Add(int64(len(payload)))
+	if p.OnWrite != nil {
+		p.OnWrite(path)
+	}
+	return nil
+}
+
+func (p Policy) noteError(err error) {
+	if p.OnError != nil {
+		p.OnError(err)
+	}
+}
+
+// NoteResume records one successful resume on the metrics registry.
+func (p Policy) NoteResume() {
+	p.Obs.Metrics.Counter("resume_count", "runs resumed from a checkpoint").Inc()
+}
+
+// WriteSearch atomically replaces the search checkpoint.
+func (p Policy) WriteSearch(st *SearchState) error {
+	if !p.Enabled() {
+		return nil
+	}
+	return p.commit(p.SearchPath(), st.Encode())
+}
+
+// LoadSearch reads and decodes the search checkpoint. A missing file
+// surfaces as the fs error; damage as the typed snapshot errors.
+func (p Policy) LoadSearch() (*SearchState, error) {
+	payload, err := ReadFile(p.SearchPath())
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSearch(payload)
+}
+
+// WriteRank durably writes one rank's sweep-boundary checkpoint and
+// prunes generations beyond the retention bound.
+func (p Policy) WriteRank(st *RankState) error {
+	if !p.Enabled() {
+		return nil
+	}
+	if err := p.commit(p.RankPath(int(st.Rank), int(st.Sweep)), st.Encode()); err != nil {
+		return err
+	}
+	p.pruneRank(int(st.Rank))
+	return nil
+}
+
+// LoadRank reads one rank's checkpoint at a specific sweep boundary.
+func (p Policy) LoadRank(rank, sweep int) (*RankState, error) {
+	payload, err := ReadFile(p.RankPath(rank, sweep))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRank(payload)
+}
+
+// RankSweeps lists the sweep boundaries rank has usable checkpoints
+// for, ascending. Unreadable or corrupt files are skipped — rejoin
+// negotiation wants the set of sweeps that can actually be loaded.
+func (p Policy) RankSweeps(rank int) []int {
+	matches, err := filepath.Glob(filepath.Join(p.Dir, fmt.Sprintf("rank%04d-sweep*.ckpt", rank)))
+	if err != nil || len(matches) == 0 {
+		return nil
+	}
+	var sweeps []int
+	for _, m := range matches {
+		var r, s int
+		if _, err := fmt.Sscanf(filepath.Base(m), "rank%04d-sweep%08d.ckpt", &r, &s); err != nil || r != rank {
+			continue
+		}
+		if _, err := ReadFile(m); err != nil {
+			continue
+		}
+		sweeps = append(sweeps, s)
+	}
+	sort.Ints(sweeps)
+	return sweeps
+}
+
+// pruneRank removes a rank's oldest checkpoints beyond the retention
+// bound. Best effort: pruning failures never fail a write.
+func (p Policy) pruneRank(rank int) {
+	sweeps := p.RankSweeps(rank)
+	for len(sweeps) > p.retain() {
+		os.Remove(p.RankPath(rank, sweeps[0]))
+		sweeps = sweeps[1:]
+	}
+}

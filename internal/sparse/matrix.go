@@ -7,25 +7,92 @@
 // vertex starts in its own block), so a dense C×C array is infeasible; M
 // is extremely sparse there. Late iterations have small C where dense
 // storage is far faster. The Matrix therefore switches representation:
-// hash rows + hash columns above DenseThreshold blocks, one dense array
-// below. Both row and column iteration are O(nonzeros) because the MCMC
-// delta computation must walk row r and column r of the current and
-// proposed blocks.
+// sorted nonzero lists per row and per column above DenseThreshold
+// blocks, one dense array below. Both row and column iteration are
+// O(nonzeros) because the MCMC delta computation must walk row r and
+// column r of the current and proposed blocks.
+//
+// Iteration order is ascending index in BOTH modes. This is a hard
+// guarantee, not an implementation detail: float accumulations over
+// RowNZ/ColNZ (log-likelihood, ΔMDL) must associate identically across
+// runs and across checkpoint/resume for same-seed results to be
+// bit-identical. A hash-map representation would randomize the order.
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // DenseThreshold is the block count at or below which a freshly created
 // Matrix uses dense storage.
 const DenseThreshold = 256
 
+// nzlist is one sparse row (or column): the nonzero entries as parallel
+// key/value slices kept sorted by key. Rows of the block matrix hold
+// around average-degree entries, so binary search plus memmove beats a
+// hash map while giving canonical iteration order.
+type nzlist struct {
+	keys []int32
+	vals []int64
+}
+
+// find returns the position of k, or the insertion point and false.
+func (l *nzlist) find(k int32) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= k })
+	return i, i < len(l.keys) && l.keys[i] == k
+}
+
+func (l *nzlist) get(k int32) int64 {
+	if i, ok := l.find(k); ok {
+		return l.vals[i]
+	}
+	return 0
+}
+
+// add applies delta to key k, inserting or removing the entry as needed,
+// and returns the new value (which may be negative; the caller owns
+// range checking).
+func (l *nzlist) add(k int32, delta int64) int64 {
+	i, ok := l.find(k)
+	if !ok {
+		if delta == 0 {
+			return 0
+		}
+		l.keys = append(l.keys, 0)
+		l.vals = append(l.vals, 0)
+		copy(l.keys[i+1:], l.keys[i:])
+		copy(l.vals[i+1:], l.vals[i:])
+		l.keys[i], l.vals[i] = k, delta
+		return delta
+	}
+	v := l.vals[i] + delta
+	if v == 0 {
+		l.keys = append(l.keys[:i], l.keys[i+1:]...)
+		l.vals = append(l.vals[:i], l.vals[i+1:]...)
+		return 0
+	}
+	l.vals[i] = v
+	return v
+}
+
+func (l *nzlist) clone() nzlist {
+	if len(l.keys) == 0 {
+		return nzlist{}
+	}
+	return nzlist{
+		keys: append([]int32(nil), l.keys...),
+		vals: append([]int64(nil), l.vals...),
+	}
+}
+
 // Matrix is a C×C matrix of int64 edge counts.
 // It is not safe for concurrent mutation; concurrent reads are safe.
 type Matrix struct {
 	c     int
-	dense []int64           // len c*c when in dense mode, nil otherwise
-	rows  []map[int32]int64 // per-row nonzeros when in sparse mode
-	cols  []map[int32]int64 // transpose index (same counts, keyed by row)
+	dense []int64  // len c*c when in dense mode, nil otherwise
+	rows  []nzlist // per-row nonzeros when in sparse mode
+	cols  []nzlist // transpose index (same counts, keyed by row)
 }
 
 // NewMatrix returns a zero C×C matrix, choosing dense or sparse storage
@@ -38,8 +105,8 @@ func NewMatrix(c int) *Matrix {
 	if c <= DenseThreshold {
 		m.dense = make([]int64, c*c)
 	} else {
-		m.rows = make([]map[int32]int64, c)
-		m.cols = make([]map[int32]int64, c)
+		m.rows = make([]nzlist, c)
+		m.cols = make([]nzlist, c)
 	}
 	return m
 }
@@ -55,10 +122,7 @@ func (m *Matrix) Get(r, s int) int64 {
 	if m.dense != nil {
 		return m.dense[r*m.c+s]
 	}
-	if m.rows[r] == nil {
-		return 0
-	}
-	return m.rows[r][int32(s)]
+	return m.rows[r].get(int32(s))
 }
 
 // Add adds delta to M[r][s]. Counts must remain non-negative; Add panics
@@ -75,31 +139,15 @@ func (m *Matrix) Add(r, s int, delta int64) {
 		m.dense[r*m.c+s] = v
 		return
 	}
-	if m.rows[r] == nil {
-		m.rows[r] = make(map[int32]int64, 4)
-	}
-	v := m.rows[r][int32(s)] + delta
-	switch {
-	case v < 0:
+	if v := m.rows[r].add(int32(s), delta); v < 0 {
 		panic(fmt.Sprintf("sparse: M[%d][%d] underflow to %d", r, s, v))
-	case v == 0:
-		delete(m.rows[r], int32(s))
-	default:
-		m.rows[r][int32(s)] = v
 	}
-	if m.cols[s] == nil {
-		m.cols[s] = make(map[int32]int64, 4)
-	}
-	cv := m.cols[s][int32(r)] + delta
-	if cv == 0 {
-		delete(m.cols[s], int32(r))
-	} else {
-		m.cols[s][int32(r)] = cv
-	}
+	m.cols[s].add(int32(r), delta)
 }
 
-// RowNZ calls fn(s, count) for every nonzero M[r][s]. Iteration order is
-// unspecified in sparse mode. fn must not mutate the matrix.
+// RowNZ calls fn(s, count) for every nonzero M[r][s] in ascending s
+// order (both modes — the deterministic-accumulation guarantee).
+// fn must not mutate the matrix.
 func (m *Matrix) RowNZ(r int, fn func(s int32, count int64)) {
 	if m.dense != nil {
 		base := r * m.c
@@ -110,12 +158,14 @@ func (m *Matrix) RowNZ(r int, fn func(s int32, count int64)) {
 		}
 		return
 	}
-	for s, v := range m.rows[r] {
-		fn(s, v)
+	row := &m.rows[r]
+	for i, s := range row.keys {
+		fn(s, row.vals[i])
 	}
 }
 
-// ColNZ calls fn(r, count) for every nonzero M[r][s].
+// ColNZ calls fn(r, count) for every nonzero M[r][s] in ascending r
+// order (both modes).
 func (m *Matrix) ColNZ(s int, fn func(r int32, count int64)) {
 	if m.dense != nil {
 		for r := 0; r < m.c; r++ {
@@ -125,8 +175,9 @@ func (m *Matrix) ColNZ(s int, fn func(r int32, count int64)) {
 		}
 		return
 	}
-	for r, v := range m.cols[s] {
-		fn(r, v)
+	col := &m.cols[s]
+	for i, r := range col.keys {
+		fn(r, col.vals[i])
 	}
 }
 
@@ -144,8 +195,9 @@ func (m *Matrix) RowNZUntil(r int, fn func(s int32, count int64) bool) bool {
 		}
 		return true
 	}
-	for s, v := range m.rows[r] {
-		if !fn(s, v) {
+	row := &m.rows[r]
+	for i, s := range row.keys {
+		if !fn(s, row.vals[i]) {
 			return false
 		}
 	}
@@ -165,8 +217,9 @@ func (m *Matrix) ColNZUntil(s int, fn func(r int32, count int64) bool) bool {
 		}
 		return true
 	}
-	for r, v := range m.cols[s] {
-		if !fn(r, v) {
+	col := &m.cols[s]
+	for i, r := range col.keys {
+		if !fn(r, col.vals[i]) {
 			return false
 		}
 	}
@@ -197,7 +250,7 @@ func (m *Matrix) Total() int64 {
 		return sum
 	}
 	for r := range m.rows {
-		for _, v := range m.rows[r] {
+		for _, v := range m.rows[r].vals {
 			sum += v
 		}
 	}
@@ -212,27 +265,13 @@ func (m *Matrix) Clone() *Matrix {
 		copy(out.dense, m.dense)
 		return out
 	}
-	out.rows = make([]map[int32]int64, m.c)
-	out.cols = make([]map[int32]int64, m.c)
-	for r, row := range m.rows {
-		if len(row) == 0 {
-			continue
-		}
-		cp := make(map[int32]int64, len(row))
-		for k, v := range row {
-			cp[k] = v
-		}
-		out.rows[r] = cp
+	out.rows = make([]nzlist, m.c)
+	out.cols = make([]nzlist, m.c)
+	for r := range m.rows {
+		out.rows[r] = m.rows[r].clone()
 	}
-	for s, col := range m.cols {
-		if len(col) == 0 {
-			continue
-		}
-		cp := make(map[int32]int64, len(col))
-		for k, v := range col {
-			cp[k] = v
-		}
-		out.cols[s] = cp
+	for s := range m.cols {
+		out.cols[s] = m.cols[s].clone()
 	}
 	return out
 }
@@ -249,7 +288,7 @@ func (m *Matrix) NonZeros() int {
 		return n
 	}
 	for r := range m.rows {
-		n += len(m.rows[r])
+		n += len(m.rows[r].keys)
 	}
 	return n
 }

@@ -86,8 +86,8 @@ func TestSparseDenseEquivalence(t *testing.T) {
 		const c = 12
 		dense := NewMatrix(c)   // dense: c <= threshold
 		sparse := &Matrix{c: c} // force sparse mode at small c
-		sparse.rows = make([]map[int32]int64, c)
-		sparse.cols = make([]map[int32]int64, c)
+		sparse.rows = make([]nzlist, c)
+		sparse.cols = make([]nzlist, c)
 
 		ops := int(opsRaw)%100 + 1
 		for k := 0; k < ops; k++ {
@@ -182,4 +182,32 @@ func TestAddZeroIsNoop(t *testing.T) {
 	if m.NonZeros() != 0 {
 		t.Fatal("Add(…, 0) created an entry")
 	}
+}
+
+// TestSparseIterationAscending pins the ordering guarantee RowNZ and
+// ColNZ document: ascending index in sparse mode regardless of
+// insertion order. Float accumulations over these iterators (MDL,
+// ΔMDL) rely on it for bit-identical same-seed runs — a map-backed
+// representation would randomize the association order.
+func TestSparseIterationAscending(t *testing.T) {
+	m := NewMatrix(DenseThreshold + 50)
+	r := rng.New(9)
+	for i := 0; i < 200; i++ {
+		m.Add(3, r.Intn(m.NumBlocks()), int64(r.Intn(4)+1))
+		m.Add(r.Intn(m.NumBlocks()), 7, int64(r.Intn(4)+1))
+	}
+	prev := int32(-1)
+	m.RowNZ(3, func(s int32, _ int64) {
+		if s <= prev {
+			t.Fatalf("row iteration not ascending: %d after %d", s, prev)
+		}
+		prev = s
+	})
+	prev = -1
+	m.ColNZ(7, func(row int32, _ int64) {
+		if row <= prev {
+			t.Fatalf("column iteration not ascending: %d after %d", row, prev)
+		}
+		prev = row
+	})
 }
