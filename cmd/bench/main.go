@@ -1,0 +1,159 @@
+// Command bench runs the workload-matrix benchmark suite and maintains
+// the repo's committed performance trajectory.
+//
+// Recording a trajectory entry (appends to BENCH_<host-class>.json):
+//
+//	bench -label post-opt
+//	bench -smoke -out /tmp/candidate.json          # CI-sized matrix
+//	bench -workloads 'proposal' -shapes 'table1'   # subset of the matrix
+//
+// Gating on a recorded baseline (exits non-zero on any p50 regression
+// beyond the tolerance, or on a workload cell that disappeared):
+//
+//	bench -compare BENCH_linux-amd64-c8.json candidate.json -tolerance 0.15
+//
+// Exit codes: 0 success, 1 regression detected by -compare, 2 usage or
+// I/O errors (including trajectory schema-version mismatches).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"repro/internal/benchmark"
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	var (
+		out        = flag.String("out", "", "trajectory file to append to (default BENCH_<host-class>.json)")
+		label      = flag.String("label", "dev", "label for the recorded entry")
+		smoke      = flag.Bool("smoke", false, "run the reduced CI matrix (small graphs, fewer samples)")
+		samples    = flag.Int("samples", 0, "override timed samples per cell (0 = matrix default)")
+		vertices   = flag.Int("vertices", 0, "override the vertex budget per shape (0 = matrix default)")
+		workloads  = flag.String("workloads", "", "regexp restricting workload names")
+		shapes     = flag.String("shapes", "", "regexp restricting shape names")
+		compare    = flag.Bool("compare", false, "compare two trajectory files: bench -compare old.json new.json")
+		tolerance  = flag.Float64("tolerance", 0.15, "allowed relative p50 slowdown per cell in -compare mode")
+		maxGeomean = flag.Float64("max-geomean", 0, "fail -compare when the matrix-wide geomean p50 ratio exceeds this (0 disables; 1.15 = 15% overall slowdown)")
+		dry        = flag.Bool("dry", false, "run and print the matrix without writing the trajectory file")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress output")
+		hostclass  = flag.Bool("hostclass", false, "print this machine's host class and exit")
+	)
+	flag.Parse()
+
+	if *hostclass {
+		// For scripts deciding whether a committed trajectory was recorded
+		// on a comparable machine (scripts/bench_smoke.sh).
+		fmt.Println(benchmark.HostClass())
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Println("usage: bench -compare [-tolerance 0.15] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *maxGeomean))
+	}
+	if flag.NArg() != 0 {
+		log.Printf("unexpected arguments %v (did you mean -compare?)", flag.Args())
+		os.Exit(2)
+	}
+
+	opts := benchmark.DefaultOptions()
+	if *smoke {
+		opts = benchmark.SmokeOptions()
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if *vertices > 0 {
+		opts.Vertices = *vertices
+	}
+	var err error
+	if opts.Workload, err = compileFilter(*workloads); err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if opts.Shape, err = compileFilter(*shapes); err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Println(line) }
+	}
+
+	hists := make(map[string]*obs.Histogram)
+	results, err := benchmark.Run(opts, hists)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		// Coarse distribution cross-check from the shared obs buckets:
+		// an exact p50 far from its histogram estimate means the cell's
+		// samples straddle bucket boundaries wildly — treat with care.
+		for key, h := range hists {
+			est := h.Quantile(0.5)
+			exact := results[key].P50NS
+			if est > 0 && exact > 0 && (est > 4*exact || exact > 4*est) {
+				fmt.Printf("note: %s histogram-p50 %.0f vs exact %.0f ns/op\n", key, est, exact)
+			}
+		}
+	}
+
+	if *dry {
+		return
+	}
+	path := *out
+	if path == "" {
+		path = benchmark.DefaultPath()
+	}
+	entry := benchmark.NewEntry(*label, opts, results)
+	if _, err := benchmark.Append(path, entry); err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	fmt.Printf("recorded entry %q (%d cells) in %s\n", *label, len(results), path)
+}
+
+func compileFilter(expr string) (*regexp.Regexp, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("bad filter %q: %w", expr, err)
+	}
+	return re, nil
+}
+
+func runCompare(oldPath, newPath string, tolerance, maxGeomean float64) int {
+	oldF, err := benchmark.Load(oldPath)
+	if err != nil {
+		log.Println(err)
+		return 2
+	}
+	newF, err := benchmark.Load(newPath)
+	if err != nil {
+		log.Println(err)
+		return 2
+	}
+	rep, err := benchmark.Compare(oldF, newF, tolerance)
+	if err != nil {
+		log.Println(err)
+		return 2
+	}
+	rep.MaxGeomean = maxGeomean
+	fmt.Print(rep.String())
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,197 @@
+package benchmark
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Options configures one benchmark-matrix run.
+type Options struct {
+	// Vertices is the vertex budget per graph shape.
+	Vertices int
+
+	// Samples is the number of timed samples per matrix cell; p50/p95
+	// are exact order statistics over these samples.
+	Samples int
+
+	// Warmup is the number of untimed samples run before measuring.
+	Warmup int
+
+	// AllocRounds is the number of samples the allocation-counting pass
+	// averages over (0 disables allocation counting).
+	AllocRounds int
+
+	// Workers is the parallel width of the engine workloads (sweeps,
+	// merge scan). Point workloads are single-threaded by construction.
+	Workers int
+
+	// Workload and Shape, when non-nil, restrict the matrix to matching
+	// names.
+	Workload, Shape *regexp.Regexp
+
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// DefaultOptions is the full matrix: the sizes and sample counts behind
+// committed BENCH_*.json entries.
+func DefaultOptions() Options {
+	return Options{Vertices: 4096, Samples: 40, Warmup: 5, AllocRounds: 3, Workers: benchWorkers()}
+}
+
+// SmokeOptions is the reduced matrix for CI: small graphs, same
+// workload coverage. Samples stay high even in smoke mode — the gate
+// compares p50s at a 15% tolerance, and on a busy single-core CI
+// runner the median of a short sample run drifts more than that.
+func SmokeOptions() Options {
+	return Options{Vertices: 1024, Samples: 31, Warmup: 3, AllocRounds: 2, Workers: benchWorkers()}
+}
+
+// benchWorkers pins the engine workloads to a small fixed width (up to
+// the machine's cores) so p50s are stable under CI scheduling noise.
+func benchWorkers() int {
+	w := runtime.NumCPU()
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// Result is one cell of the benchmark matrix.
+type Result struct {
+	Ops         int64   `json:"ops"`           // operations measured across all samples
+	AvgNS       float64 `json:"avg_ns"`        // mean ns/op
+	P50NS       float64 `json:"p50_ns"`        // median ns/op over samples
+	P95NS       float64 `json:"p95_ns"`        // 95th-percentile ns/op over samples
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per op
+	BytesPerOp  float64 `json:"bytes_per_op"`  // heap bytes per op
+}
+
+// Key is the canonical cell key of a (workload, shape) pair.
+func Key(workload, shape string) string { return workload + "/" + shape }
+
+// Run executes the configured benchmark matrix and returns one Result
+// per cell, keyed workload/shape. Per-cell timing distributions are
+// additionally recorded into hists (an obs histogram per cell, shared
+// NanosBuckets layout) when hists is non-nil — the coarse live view;
+// the returned quantiles are exact order statistics.
+func Run(opts Options, hists map[string]*obs.Histogram) (map[string]Result, error) {
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("benchmark: need at least 1 sample, got %d", opts.Samples)
+	}
+	results := make(map[string]Result)
+	for _, sh := range Shapes() {
+		if opts.Shape != nil && !opts.Shape.MatchString(sh.Name) {
+			continue
+		}
+		var sd *ShapeData
+		for _, wl := range Workloads() {
+			if opts.Workload != nil && !opts.Workload.MatchString(wl.Name) {
+				continue
+			}
+			if sd == nil { // build the shape lazily, once per run
+				var err error
+				sd, err = sh.Build(opts.Vertices)
+				if err != nil {
+					return nil, fmt.Errorf("benchmark: shape %s: %w", sh.Name, err)
+				}
+			}
+			key := Key(wl.Name, sh.Name)
+			run, err := wl.Setup(sd, opts)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark: %s: %w", key, err)
+			}
+			var h *obs.Histogram
+			if hists != nil {
+				h = obs.NewHistogram(obs.NanosBuckets)
+				hists[key] = h
+			}
+			res := measure(run, opts, h)
+			results[key] = res
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("%-44s p50 %12.1f ns/op  p95 %12.1f  avg %12.1f  %6.1f allocs/op",
+					key, res.P50NS, res.P95NS, res.AvgNS, res.AllocsPerOp))
+			}
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("benchmark: filters matched no matrix cell")
+	}
+	return results, nil
+}
+
+// measure runs warmup, the timed samples, and the allocation pass for
+// one cell.
+func measure(run runFunc, opts Options, h *obs.Histogram) Result {
+	for i := 0; i < opts.Warmup; i++ {
+		run()
+	}
+	perOp := make([]float64, 0, opts.Samples)
+	var totalNS float64
+	var totalOps int64
+	for i := 0; i < opts.Samples; i++ {
+		ns, ops := run()
+		if ops <= 0 {
+			continue
+		}
+		v := ns / float64(ops)
+		perOp = append(perOp, v)
+		totalNS += ns
+		totalOps += ops
+		h.Observe(v)
+	}
+	res := Result{Ops: totalOps}
+	if totalOps > 0 {
+		res.AvgNS = totalNS / float64(totalOps)
+	}
+	sort.Float64s(perOp)
+	res.P50NS = percentile(perOp, 0.50)
+	res.P95NS = percentile(perOp, 0.95)
+	if opts.AllocRounds > 0 {
+		res.AllocsPerOp, res.BytesPerOp = measureAllocs(run, opts.AllocRounds)
+	}
+	return res
+}
+
+// percentile returns the p-quantile of sorted samples with linear
+// interpolation between order statistics.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(rank)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
+}
+
+// measureAllocs reports mean heap allocations and bytes per operation
+// over rounds invocations of run. The mallocs counter is monotonic and
+// GC-independent, so no explicit collection is needed; point workloads
+// allocate nothing in steady state and report exactly 0.
+func measureAllocs(run runFunc, rounds int) (allocs, bytes float64) {
+	var before, after runtime.MemStats
+	var ops int64
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		_, n := run()
+		ops += n
+	}
+	runtime.ReadMemStats(&after)
+	if ops == 0 {
+		return 0, 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(ops),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+}

@@ -1,0 +1,170 @@
+package benchmark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Comparison status values per matrix cell.
+const (
+	StatusOK        = "ok"        // within tolerance
+	StatusImproved  = "improved"  // p50 got faster by more than the tolerance
+	StatusRegressed = "regressed" // p50 got slower beyond the tolerance — fails
+	StatusRemoved   = "removed"   // cell present in old, missing in new — fails
+	StatusAdded     = "added"     // new cell with no baseline — informational
+)
+
+// Row is one compared matrix cell.
+type Row struct {
+	Key            string
+	OldP50, NewP50 float64
+	Ratio          float64 // NewP50 / OldP50; 0 when either side is missing
+	Status         string
+}
+
+// Report is the outcome of comparing two trajectory entries.
+type Report struct {
+	Tolerance           float64
+	OldLabel, NewLabel  string
+	HostClassMismatch   string // non-empty warning when classes differ
+	Rows                []Row
+	Regressed, Removed  int
+	Improved, Added, OK int
+
+	// Geomean is the geometric mean of the per-cell p50 ratios (cells
+	// present on both sides with a nonzero baseline); 1 when no cell
+	// qualifies. Per-cell p50s on a busy machine drift ±20% from
+	// memory-layout and scheduling luck alone, but that noise is
+	// independent across cells and cancels in the geomean, while a real
+	// hot-path regression shifts many cells the same way — so the
+	// geomean supports a much tighter gate than any single cell.
+	Geomean float64
+
+	// MaxGeomean, when positive, adds a whole-matrix gate: the report
+	// fails if Geomean exceeds it (e.g. 1.15 = fail when the matrix is
+	// >15% slower overall).
+	MaxGeomean float64
+}
+
+// Failed reports whether the comparison should gate (non-zero exit):
+// any p50 regression beyond tolerance, any workload cell that
+// disappeared from the matrix, or — when a MaxGeomean is set — an
+// overall slowdown beyond it.
+func (r *Report) Failed() bool {
+	return r.Regressed > 0 || r.Removed > 0 ||
+		(r.MaxGeomean > 0 && r.Geomean > r.MaxGeomean)
+}
+
+// String renders the report as an aligned table plus a verdict line.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparing %q -> %q (p50 tolerance %.0f%%)\n", r.OldLabel, r.NewLabel, r.Tolerance*100)
+	if r.HostClassMismatch != "" {
+		fmt.Fprintf(&b, "WARNING: %s\n", r.HostClassMismatch)
+	}
+	for _, row := range r.Rows {
+		switch row.Status {
+		case StatusAdded:
+			fmt.Fprintf(&b, "  %-44s %12s -> %12.1f  %9s  %s\n", row.Key, "-", row.NewP50, "", row.Status)
+		case StatusRemoved:
+			fmt.Fprintf(&b, "  %-44s %12.1f -> %12s  %9s  %s\n", row.Key, row.OldP50, "-", "", row.Status)
+		default:
+			fmt.Fprintf(&b, "  %-44s %12.1f -> %12.1f  %8.2fx  %s\n", row.Key, row.OldP50, row.NewP50, row.Ratio, row.Status)
+		}
+	}
+	fmt.Fprintf(&b, "%d ok, %d improved, %d added, %d regressed, %d removed\n",
+		r.OK, r.Improved, r.Added, r.Regressed, r.Removed)
+	if r.MaxGeomean > 0 {
+		verdict := "ok"
+		if r.Geomean > r.MaxGeomean {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "matrix geomean %.3fx (limit %.3fx): %s\n", r.Geomean, r.MaxGeomean, verdict)
+	} else {
+		fmt.Fprintf(&b, "matrix geomean %.3fx\n", r.Geomean)
+	}
+	return b.String()
+}
+
+// Compare diffs the latest entries of two trajectories cell by cell.
+// tolerance is the allowed relative p50 slowdown (0.15 = 15%). Schema
+// validation happened at Load time; Compare additionally rejects empty
+// trajectories and flags host-class mismatches as a warning (a
+// cross-machine diff is advisory, not a gate someone should trust).
+func Compare(old, new *File, tolerance float64) (*Report, error) {
+	oldE, newE := old.Latest(), new.Latest()
+	if oldE == nil || newE == nil {
+		return nil, fmt.Errorf("benchmark: cannot compare empty trajectories (old %d entries, new %d)",
+			len(old.Entries), len(new.Entries))
+	}
+	return CompareEntries(oldE, newE, old.HostClass, new.HostClass, tolerance)
+}
+
+// CompareEntries diffs two specific entries.
+func CompareEntries(oldE, newE *Entry, oldClass, newClass string, tolerance float64) (*Report, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("benchmark: negative tolerance %g", tolerance)
+	}
+	rep := &Report{Tolerance: tolerance, OldLabel: oldE.Label, NewLabel: newE.Label}
+	if oldClass != newClass {
+		rep.HostClassMismatch = fmt.Sprintf("host classes differ (%s vs %s); timings are not comparable across machines",
+			oldClass, newClass)
+	}
+	keys := make([]string, 0, len(oldE.Results)+len(newE.Results))
+	for k := range oldE.Results {
+		keys = append(keys, k)
+	}
+	for k := range newE.Results {
+		if _, ok := oldE.Results[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o, hasOld := oldE.Results[k]
+		n, hasNew := newE.Results[k]
+		row := Row{Key: k, OldP50: o.P50NS, NewP50: n.P50NS}
+		switch {
+		case !hasOld:
+			row.Status = StatusAdded
+			rep.Added++
+		case !hasNew:
+			row.Status = StatusRemoved
+			rep.Removed++
+		case o.P50NS <= 0:
+			// A zero baseline cannot express a relative tolerance;
+			// treat any nonzero new value as plain ok.
+			row.Status = StatusOK
+			rep.OK++
+		default:
+			row.Ratio = n.P50NS / o.P50NS
+			switch {
+			case row.Ratio > 1+tolerance:
+				row.Status = StatusRegressed
+				rep.Regressed++
+			case row.Ratio < 1-tolerance:
+				row.Status = StatusImproved
+				rep.Improved++
+			default:
+				row.Status = StatusOK
+				rep.OK++
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	var logSum float64
+	var measured int
+	for _, row := range rep.Rows {
+		if row.Ratio > 0 {
+			logSum += math.Log(row.Ratio)
+			measured++
+		}
+	}
+	rep.Geomean = 1
+	if measured > 0 {
+		rep.Geomean = math.Exp(logSum / float64(measured))
+	}
+	return rep, nil
+}

@@ -1,0 +1,219 @@
+package benchmark
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGolden loads a committed trajectory from testdata, failing the
+// test on any error. The golden pairs model the situations the CI gate
+// must classify correctly: a genuine improvement, a regression beyond
+// tolerance, a mutated workload matrix (cell added + cell removed),
+// independent per-cell drift that should cancel in the geomean, and a
+// file written by a future schema version.
+func loadGolden(t *testing.T, name string) *File {
+	t.Helper()
+	f, err := Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return f
+}
+
+func statusCount(rep *Report, status string) int {
+	n := 0
+	for _, row := range rep.Rows {
+		if row.Status == status {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCompareImprovement(t *testing.T) {
+	rep, err := Compare(loadGolden(t, "base.json"), loadGolden(t, "improved.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("improvement flagged as failure:\n%s", rep)
+	}
+	if rep.Improved != 4 || rep.Regressed != 0 || rep.Removed != 0 || rep.Added != 0 {
+		t.Fatalf("want 4 improved and nothing else, got improved=%d regressed=%d removed=%d added=%d",
+			rep.Improved, rep.Regressed, rep.Removed, rep.Added)
+	}
+	// proposal-point-eval/table1-s5 halves: 500/1000.
+	for _, row := range rep.Rows {
+		if row.Key == "proposal-point-eval/table1-s5" && math.Abs(row.Ratio-0.5) > 1e-12 {
+			t.Fatalf("ratio for %s = %v, want 0.5", row.Key, row.Ratio)
+		}
+	}
+	if rep.Geomean >= 1 {
+		t.Fatalf("geomean %v for an across-the-board improvement, want < 1", rep.Geomean)
+	}
+	if rep.HostClassMismatch != "" {
+		t.Fatalf("unexpected host-class warning: %s", rep.HostClassMismatch)
+	}
+}
+
+func TestCompareRegressionBeyondTolerance(t *testing.T) {
+	base := loadGolden(t, "base.json")
+	reg := loadGolden(t, "regressed.json")
+
+	rep, err := Compare(base, reg, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("1.4x cell regression within 15%% tolerance did not fail:\n%s", rep)
+	}
+	if rep.Regressed != 1 || statusCount(rep, StatusRegressed) != 1 {
+		t.Fatalf("want exactly 1 regressed cell, got %d:\n%s", rep.Regressed, rep)
+	}
+	if !strings.Contains(rep.String(), "regressed") {
+		t.Fatalf("report does not name the regression:\n%s", rep)
+	}
+
+	// The same diff passes when the tolerance admits a 1.4x slowdown.
+	rep, err = Compare(base, reg, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("1.4x regression failed at 50%% tolerance:\n%s", rep)
+	}
+}
+
+func TestCompareAddedAndRemovedKeys(t *testing.T) {
+	rep, err := Compare(loadGolden(t, "base.json"), loadGolden(t, "mutated.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// near-bipartite disappeared (gates), sparse-row-walk appeared
+	// (informational only).
+	if rep.Removed != 1 || rep.Added != 1 {
+		t.Fatalf("want 1 removed + 1 added, got removed=%d added=%d:\n%s", rep.Removed, rep.Added, rep)
+	}
+	if !rep.Failed() {
+		t.Fatalf("removed workload cell did not gate:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		switch row.Key {
+		case "proposal-point-eval/near-bipartite":
+			if row.Status != StatusRemoved {
+				t.Fatalf("%s status = %s, want %s", row.Key, row.Status, StatusRemoved)
+			}
+		case "sparse-row-walk/table1-s5":
+			if row.Status != StatusAdded {
+				t.Fatalf("%s status = %s, want %s", row.Key, row.Status, StatusAdded)
+			}
+		}
+		// Missing-side rows carry no ratio and must not poison the geomean.
+		if (row.Status == StatusAdded || row.Status == StatusRemoved) && row.Ratio != 0 {
+			t.Fatalf("%s (%s) has ratio %v, want 0", row.Key, row.Status, row.Ratio)
+		}
+	}
+}
+
+// TestCompareGeomeanGate pins the statistical rationale of the smoke
+// gate: per-cell drift in both directions cancels in the geomean, so a
+// tight matrix-wide limit holds where tight per-cell limits are noise,
+// while a one-sided shift (regressed.json) moves the geomean up.
+func TestCompareGeomeanGate(t *testing.T) {
+	base := loadGolden(t, "base.json")
+
+	// drift.json: two cells 1.2x slower, two ~0.83x faster — geomean ~1.
+	rep, err := Compare(base, loadGolden(t, "drift.json"), 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Geomean-1.0) > 0.01 {
+		t.Fatalf("symmetric drift geomean = %v, want ~1.0", rep.Geomean)
+	}
+	rep.MaxGeomean = 1.15
+	if rep.Failed() {
+		t.Fatalf("symmetric drift tripped the geomean gate:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "matrix geomean") {
+		t.Fatalf("report missing geomean line:\n%s", rep)
+	}
+
+	// regressed.json: one 1.4x cell → geomean 1.4^(1/4) ≈ 1.088. A
+	// tight-enough limit gates on it even with per-cell checks disarmed
+	// by a loose tolerance.
+	rep, err = Compare(base, loadGolden(t, "regressed.json"), 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1.4, 0.25)
+	if math.Abs(rep.Geomean-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", rep.Geomean, want)
+	}
+	if rep.Failed() {
+		t.Fatalf("failed with geomean gate disabled:\n%s", rep)
+	}
+	rep.MaxGeomean = 1.05
+	if !rep.Failed() {
+		t.Fatalf("geomean %v did not trip limit 1.05:\n%s", rep.Geomean, rep)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Fatalf("tripped geomean gate not rendered as FAIL:\n%s", rep)
+	}
+}
+
+func TestLoadSchemaVersionMismatch(t *testing.T) {
+	_, err := Load(filepath.Join("testdata", "schema_v99.json"))
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("Load(schema_v99.json) error = %v, want *SchemaError", err)
+	}
+	if se.Got != 99 || se.Want != SchemaVersion {
+		t.Fatalf("SchemaError got=%d want=%d, expected got=99 want=%d", se.Got, se.Want, SchemaVersion)
+	}
+}
+
+func TestCompareHostClassMismatchWarns(t *testing.T) {
+	base := loadGolden(t, "base.json")
+	other := loadGolden(t, "improved.json")
+	other.HostClass = "darwin-arm64-c10"
+	rep, err := Compare(base, other, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostClassMismatch == "" {
+		t.Fatal("no warning for differing host classes")
+	}
+	if !strings.Contains(rep.String(), "WARNING") {
+		t.Fatalf("warning not rendered:\n%s", rep)
+	}
+	// Advisory only: a cross-machine diff warns but does not gate.
+	if rep.Failed() {
+		t.Fatalf("host-class mismatch alone gated:\n%s", rep)
+	}
+}
+
+func TestCompareRejectsEmptyAndNegative(t *testing.T) {
+	base := loadGolden(t, "base.json")
+	if _, err := Compare(base, &File{SchemaVersion: SchemaVersion}, 0.15); err == nil {
+		t.Fatal("comparing against an empty trajectory succeeded")
+	}
+	if _, err := Compare(base, base, -0.1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestTrajectoryEntryLookup(t *testing.T) {
+	f := loadGolden(t, "base.json")
+	if e := f.Latest(); e == nil || e.Label != "base" {
+		t.Fatalf("Latest() = %+v, want label base", e)
+	}
+	if e := f.FindEntry("base"); e == nil || e.Samples != 31 {
+		t.Fatalf("FindEntry(base) = %+v", e)
+	}
+	if e := f.FindEntry("nope"); e != nil {
+		t.Fatalf("FindEntry(nope) = %+v, want nil", e)
+	}
+}

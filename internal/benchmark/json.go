@@ -1,0 +1,126 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion is the trajectory file format version. Bump it on any
+// change to the JSON field layout or to the meaning of a recorded
+// number (workload semantics included): compare refuses to diff files
+// across schema versions, because a "regression" against numbers that
+// measured something else is noise.
+const SchemaVersion = 1
+
+// File is one benchmark trajectory: an append-only series of entries
+// recorded on one host class. The committed BENCH_<host-class>.json
+// files at the repo root use this layout.
+type File struct {
+	SchemaVersion int     `json:"schema_version"`
+	HostClass     string  `json:"host_class"`
+	Entries       []Entry `json:"entries"`
+}
+
+// Entry is one recorded run of the benchmark matrix.
+type Entry struct {
+	Label     string            `json:"label"`      // human tag, e.g. "pre-opt" / "post-opt"
+	Time      string            `json:"time"`       // RFC3339 recording time
+	GoVersion string            `json:"go_version"` // runtime.Version() of the recording binary
+	Vertices  int               `json:"vertices"`   // graph size the matrix ran at
+	Samples   int               `json:"samples"`    // timed samples per cell
+	Results   map[string]Result `json:"results"`    // cell key (workload/shape) → result
+}
+
+// HostClass names the machine class a trajectory belongs to. Timing
+// comparisons are only meaningful within a class, so the class is part
+// of the committed filename and compare warns on mismatch.
+func HostClass() string {
+	return fmt.Sprintf("%s-%s-c%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// DefaultPath returns the conventional trajectory filename for this
+// machine's host class.
+func DefaultPath() string { return "BENCH_" + HostClass() + ".json" }
+
+// NewEntry stamps a result set as a trajectory entry.
+func NewEntry(label string, opts Options, results map[string]Result) Entry {
+	return Entry{
+		Label:     label,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Vertices:  opts.Vertices,
+		Samples:   opts.Samples,
+		Results:   results,
+	}
+}
+
+// Load reads a trajectory file, validating its schema version.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchmark: %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, &SchemaError{Path: path, Got: f.SchemaVersion, Want: SchemaVersion}
+	}
+	return &f, nil
+}
+
+// SchemaError reports a trajectory file whose schema version does not
+// match this binary's.
+type SchemaError struct {
+	Path      string
+	Got, Want int
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("benchmark: %s: schema version %d, this binary speaks %d", e.Path, e.Got, e.Want)
+}
+
+// Save writes the trajectory file atomically enough for a repo artifact
+// (plain write; the durability path is not the benchmark's problem).
+func (f *File) Save(path string) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Append loads the trajectory at path (creating a fresh one for this
+// host class if absent), appends e, and saves it back.
+func Append(path string, e Entry) (*File, error) {
+	f, err := Load(path)
+	if os.IsNotExist(err) {
+		f = &File{SchemaVersion: SchemaVersion, HostClass: HostClass()}
+	} else if err != nil {
+		return nil, err
+	}
+	f.Entries = append(f.Entries, e)
+	return f, f.Save(path)
+}
+
+// Latest returns the newest entry, or nil for an empty trajectory.
+func (f *File) Latest() *Entry {
+	if len(f.Entries) == 0 {
+		return nil
+	}
+	return &f.Entries[len(f.Entries)-1]
+}
+
+// FindEntry returns the newest entry with the given label, or nil.
+func (f *File) FindEntry(label string) *Entry {
+	for i := len(f.Entries) - 1; i >= 0; i-- {
+		if f.Entries[i].Label == label {
+			return &f.Entries[i]
+		}
+	}
+	return nil
+}

@@ -13,12 +13,29 @@ type blockVec struct {
 	gen   uint32
 }
 
+// A blockVec that served an early iteration at C ≈ N would otherwise
+// retain O(N) arrays for the rest of the run even after the search
+// converges to a few dozen blocks — multiplied by containers per
+// Scratch and Scratch per worker. reset therefore reallocates at the
+// requested size when the retained capacity is both large in absolute
+// terms and a large multiple of the current block universe, bounding
+// steady-state retained memory to O(C) without thrashing on small
+// vectors or on block counts that shrink gradually.
+const (
+	blockVecShrinkFactor = 4    // shrink when cap ≥ factor·c ...
+	blockVecShrinkMinCap = 4096 // ... and more than this many slots are retained
+)
+
 // reset prepares the vector for a block universe of size c, logically
-// clearing any previous contents in O(1).
+// clearing any previous contents in O(1) (amortized: see the shrink
+// policy above).
 func (b *blockVec) reset(c int) {
-	if cap(b.val) < c {
+	if cp := cap(b.val); cp < c || (cp > blockVecShrinkMinCap && cp >= blockVecShrinkFactor*c) {
 		b.val = make([]int64, c)
 		b.stamp = make([]uint32, c)
+		if cap(b.keys) > c {
+			b.keys = make([]int32, 0, c)
+		}
 	} else {
 		b.val = b.val[:c]
 		b.stamp = b.stamp[:c]
@@ -28,6 +45,23 @@ func (b *blockVec) reset(c int) {
 	if b.gen == 0 { // stamp wrap-around: physically clear once per 2^32 resets
 		clear(b.stamp)
 		b.gen = 1
+	}
+}
+
+// retainedCap reports how many value slots the vector keeps allocated,
+// for tests asserting the shrink policy holds.
+func (b *blockVec) retainedCap() int { return cap(b.val) }
+
+// bulkLoad installs unique (key, value) pairs as the vector's entire
+// contents in their given order, replacing the per-entry touch protocol
+// with tight loops. The vector must be freshly reset; values must be
+// nonzero and keys unique and in-range.
+func (b *blockVec) bulkLoad(keys []int32, vals []int64) {
+	b.keys = append(b.keys[:0], keys...)
+	g := b.gen
+	for i, k := range keys {
+		b.val[k] = vals[i]
+		b.stamp[k] = g
 	}
 }
 

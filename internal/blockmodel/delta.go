@@ -23,7 +23,6 @@ type Scratch struct {
 	out, in                blockVec // vertex→block edge tallies
 	rowR, rowS, colR, colS blockVec // restricted matrix view
 	edits                  []edit
-	editRowR, editColR     blockVec // accumulated deltas of row r / column r (Hastings)
 	wFwd, wBwd             blockVec // Hastings neighbour weights
 }
 
@@ -47,15 +46,36 @@ type VertexCounts struct {
 	SelfLoops int64     // #edges v→v
 	KOut      int64     // total out-degree of v (self-loops included)
 	KIn       int64     // total in-degree of v (self-loops included)
+
+	// Degree-1 vertices skip the blockVec tallies entirely (EvalMove's
+	// fast path): out/in stay nil and deg1T names the single neighbour
+	// block, with KOut/KIn telling the edge direction.
+	deg1T int32
 }
 
 // OutTo returns the number of v's out-edges whose head lies in block t
 // (excluding self-loops). Exposed for tests.
-func (vc VertexCounts) OutTo(t int32) int64 { return vc.out.get(t) }
+func (vc VertexCounts) OutTo(t int32) int64 {
+	if vc.out == nil {
+		if vc.KOut == 1 && t == vc.deg1T {
+			return 1
+		}
+		return 0
+	}
+	return vc.out.get(t)
+}
 
 // InFrom returns the number of v's in-edges whose tail lies in block t
 // (excluding self-loops). Exposed for tests.
-func (vc VertexCounts) InFrom(t int32) int64 { return vc.in.get(t) }
+func (vc VertexCounts) InFrom(t int32) int64 {
+	if vc.in == nil {
+		if vc.KIn == 1 && t == vc.deg1T {
+			return 1
+		}
+		return 0
+	}
+	return vc.in.get(t)
+}
 
 // CountVertex computes VertexCounts for v under the membership vector b,
 // using sc's containers. b may differ from bm.Assignment (the
@@ -124,12 +144,54 @@ func (bm *Blockmodel) mergeEdits(r, s int32, sc *Scratch) {
 }
 
 // loadRestricted snapshots rows/cols r and s of bm.M into sc's view.
+// Both storage modes bypass the per-entry callback/touch protocol: the
+// sparse mode bulk-copies the sorted nonzero slices, the dense mode
+// scans the backing array directly. Entry order (ascending index) is
+// identical to RowNZ/ColNZ — the deterministic-accumulation guarantee
+// the entropy sums below rely on.
 func (bm *Blockmodel) loadRestricted(r, s int32, sc *Scratch) {
 	sc.resetViews(bm.C)
-	bm.M.RowNZ(int(r), func(t int32, c int64) { sc.rowR.add(t, c) })
-	bm.M.RowNZ(int(s), func(t int32, c int64) { sc.rowS.add(t, c) })
-	bm.M.ColNZ(int(r), func(t int32, c int64) { sc.colR.add(t, c) })
-	bm.M.ColNZ(int(s), func(t int32, c int64) { sc.colS.add(t, c) })
+	if data, ok := bm.M.DenseData(); ok {
+		c := bm.C
+		loadDenseRow(&sc.rowR, data[int(r)*c:int(r)*c+c])
+		loadDenseRow(&sc.rowS, data[int(s)*c:int(s)*c+c])
+		loadDenseCol(&sc.colR, data, c, int(r))
+		loadDenseCol(&sc.colS, data, c, int(s))
+		return
+	}
+	k, v, _ := bm.M.RowView(int(r))
+	sc.rowR.bulkLoad(k, v)
+	k, v, _ = bm.M.RowView(int(s))
+	sc.rowS.bulkLoad(k, v)
+	k, v, _ = bm.M.ColView(int(r))
+	sc.colR.bulkLoad(k, v)
+	k, v, _ = bm.M.ColView(int(s))
+	sc.colS.bulkLoad(k, v)
+}
+
+// loadDenseRow fills a freshly reset bv from a dense length-C row.
+func loadDenseRow(bv *blockVec, row []int64) {
+	g := bv.gen
+	for t, v := range row {
+		if v != 0 {
+			bv.val[t] = v
+			bv.stamp[t] = g
+			bv.keys = append(bv.keys, int32(t))
+		}
+	}
+}
+
+// loadDenseCol fills a freshly reset bv from column s of the row-major
+// dense array.
+func loadDenseCol(bv *blockVec, data []int64, c, s int) {
+	g := bv.gen
+	for t, i := 0, s; t < c; t, i = t+1, i+c {
+		if v := data[i]; v != 0 {
+			bv.val[t] = v
+			bv.stamp[t] = g
+			bv.keys = append(bv.keys, int32(t))
+		}
+	}
 }
 
 // applyEdits applies sc.edits to the restricted view. Each edit is
@@ -161,54 +223,97 @@ func entropyTerm(m, dOut, dIn int64) float64 {
 	return -float64(m) * math.Log(float64(m)/(float64(dOut)*float64(dIn)))
 }
 
-// degreePatch is a copy-free view of a degree vector with two entries
-// overridden; it avoids allocating O(C) per proposal. With override
-// unset it reads through to the base vector.
+// degreePatch is a copy-free view of a degree vector with the two
+// moved-block entries overridden; it avoids allocating O(C) per
+// proposal.
 type degreePatch struct {
-	base     []int64
-	a, b     int32
-	av, bv   int64
-	override bool
+	base   []int64
+	a, b   int32
+	av, bv int64
 }
 
 func (p degreePatch) at(i int32) int64 {
-	if p.override {
-		switch i {
-		case p.a:
-			return p.av
-		case p.b:
-			return p.bv
-		}
+	switch i {
+	case p.a:
+		return p.av
+	case p.b:
+		return p.bv
 	}
 	return p.base[i]
 }
 
-// restrictedEntropy sums the description-length contributions of the
-// restricted set in sc given (possibly patched) block degrees, counting
-// corner entries exactly once: rows r and s in full, columns r and s
-// excluding rows r and s.
-func (sc *Scratch) restrictedEntropy(r, s int32, dOut, dIn degreePatch) float64 {
+// restrictedEntropyBase sums the description-length contributions of
+// the restricted set in sc under the model's unmodified block degrees,
+// counting corner entries exactly once: rows r and s in full, columns
+// r and s excluding rows r and s. The loops walk the blockVec arrays
+// directly — no callback, no stamp checks, no patch branches — but add
+// terms in exactly the order iterate would, so the float accumulation
+// is bit-identical to the pre-optimization kernel.
+func (sc *Scratch) restrictedEntropyBase(r, s int32, dOut, dIn []int64) float64 {
+	var h float64
+	dor, dos := dOut[r], dOut[s]
+	for _, t := range sc.rowR.keys {
+		if m := sc.rowR.val[t]; m != 0 {
+			h += entropyTerm(m, dor, dIn[t])
+		}
+	}
+	for _, t := range sc.rowS.keys {
+		if m := sc.rowS.val[t]; m != 0 {
+			h += entropyTerm(m, dos, dIn[t])
+		}
+	}
+	dir, dis := dIn[r], dIn[s]
+	for _, t := range sc.colR.keys {
+		if t == r || t == s {
+			continue
+		}
+		if m := sc.colR.val[t]; m != 0 {
+			h += entropyTerm(m, dOut[t], dir)
+		}
+	}
+	for _, t := range sc.colS.keys {
+		if t == r || t == s {
+			continue
+		}
+		if m := sc.colS.val[t]; m != 0 {
+			h += entropyTerm(m, dOut[t], dis)
+		}
+	}
+	return h
+}
+
+// restrictedEntropyPatched is restrictedEntropyBase with the r/s
+// entries of both degree vectors overridden (the post-move degrees).
+func (sc *Scratch) restrictedEntropyPatched(r, s int32, dOut, dIn degreePatch) float64 {
 	var h float64
 	dor, dos := dOut.at(r), dOut.at(s)
-	sc.rowR.iterate(func(t int32, m int64) {
-		h += entropyTerm(m, dor, dIn.at(t))
-	})
-	sc.rowS.iterate(func(t int32, m int64) {
-		h += entropyTerm(m, dos, dIn.at(t))
-	})
+	for _, t := range sc.rowR.keys {
+		if m := sc.rowR.val[t]; m != 0 {
+			h += entropyTerm(m, dor, dIn.at(t))
+		}
+	}
+	for _, t := range sc.rowS.keys {
+		if m := sc.rowS.val[t]; m != 0 {
+			h += entropyTerm(m, dos, dIn.at(t))
+		}
+	}
 	dir, dis := dIn.at(r), dIn.at(s)
-	sc.colR.iterate(func(t int32, m int64) {
+	for _, t := range sc.colR.keys {
 		if t == r || t == s {
-			return
+			continue
 		}
-		h += entropyTerm(m, dOut.at(t), dir)
-	})
-	sc.colS.iterate(func(t int32, m int64) {
+		if m := sc.colR.val[t]; m != 0 {
+			h += entropyTerm(m, dOut.at(t), dir)
+		}
+	}
+	for _, t := range sc.colS.keys {
 		if t == r || t == s {
-			return
+			continue
 		}
-		h += entropyTerm(m, dOut.at(t), dis)
-	})
+		if m := sc.colS.val[t]; m != 0 {
+			h += entropyTerm(m, dOut.at(t), dis)
+		}
+	}
 	return h
 }
 
@@ -235,15 +340,35 @@ func (bm *Blockmodel) EvalMove(v int, s int32, b []int32, sc *Scratch) MoveDelta
 	if r == s {
 		return md
 	}
-	md.counts = bm.CountVertex(v, b, sc)
-	sc.moveEdits(md.counts, r, s)
+	if bm.G.Degree(v) == 1 {
+		// Degree-1 fast path: the single incident edge (necessarily not a
+		// self-loop, which would count twice) touches one neighbour block,
+		// so the edit list is two entries and no per-block tally is
+		// needed. The entries match what CountVertex+moveEdits would
+		// produce, so the entropy sums below are bit-identical.
+		var t int32
+		sc.edits = sc.edits[:0]
+		if out := bm.G.OutNeighbors(v); len(out) == 1 {
+			t = b[out[0]]
+			md.counts = VertexCounts{KOut: 1, deg1T: t}
+			sc.edits = append(sc.edits, edit{r, t, -1}, edit{s, t, 1})
+		} else {
+			t = b[bm.G.InNeighbors(v)[0]]
+			md.counts = VertexCounts{KIn: 1, deg1T: t}
+			sc.edits = append(sc.edits, edit{t, r, -1}, edit{t, s, 1})
+		}
+	} else {
+		md.counts = bm.CountVertex(v, b, sc)
+		sc.moveEdits(md.counts, r, s)
+	}
 	bm.loadRestricted(r, s, sc)
-	before := sc.restrictedEntropy(r, s, degreePatch{base: bm.DOut}, degreePatch{base: bm.DIn})
+	before := sc.restrictedEntropyBase(r, s, bm.DOut, bm.DIn)
 	sc.applyEdits(r, s)
 	// Updated degrees: only blocks r and s change.
-	newDOut := degreePatch{base: bm.DOut, a: r, av: bm.DOut[r] - md.counts.KOut, b: s, bv: bm.DOut[s] + md.counts.KOut, override: true}
-	newDIn := degreePatch{base: bm.DIn, a: r, av: bm.DIn[r] - md.counts.KIn, b: s, bv: bm.DIn[s] + md.counts.KIn, override: true}
-	after := sc.restrictedEntropy(r, s, newDOut, newDIn)
+	kOut, kIn := md.counts.KOut, md.counts.KIn
+	newDOut := degreePatch{base: bm.DOut, a: r, av: bm.DOut[r] - kOut, b: s, bv: bm.DOut[s] + kOut}
+	newDIn := degreePatch{base: bm.DIn, a: r, av: bm.DIn[r] - kIn, b: s, bv: bm.DIn[s] + kIn}
+	after := sc.restrictedEntropyPatched(r, s, newDOut, newDIn)
 	md.DeltaS = after - before
 	md.EmptiesSrc = bm.Sizes[r] == 1
 	return md
@@ -282,10 +407,10 @@ func (bm *Blockmodel) EvalMerge(r, s int32, sc *Scratch) float64 {
 	}
 	bm.mergeEdits(r, s, sc)
 	bm.loadRestricted(r, s, sc)
-	before := sc.restrictedEntropy(r, s, degreePatch{base: bm.DOut}, degreePatch{base: bm.DIn})
+	before := sc.restrictedEntropyBase(r, s, bm.DOut, bm.DIn)
 	sc.applyEdits(r, s)
-	newDOut := degreePatch{base: bm.DOut, a: r, av: 0, b: s, bv: bm.DOut[s] + bm.DOut[r], override: true}
-	newDIn := degreePatch{base: bm.DIn, a: r, av: 0, b: s, bv: bm.DIn[s] + bm.DIn[r], override: true}
-	after := sc.restrictedEntropy(r, s, newDOut, newDIn)
+	newDOut := degreePatch{base: bm.DOut, a: r, av: 0, b: s, bv: bm.DOut[s] + bm.DOut[r]}
+	newDIn := degreePatch{base: bm.DIn, a: r, av: 0, b: s, bv: bm.DIn[s] + bm.DIn[r]}
+	after := sc.restrictedEntropyPatched(r, s, newDOut, newDIn)
 	return after - before
 }

@@ -83,8 +83,17 @@ func (bm *Blockmodel) sampleBlockNeighbor(t int, rn *rng.RNG) int32 {
 // sampleBlockEdgeEndpoint draws x uniform over the DTot[t] edge endpoints
 // incident on block t and walks row t then column t of M to find the
 // block owning the x-th endpoint.
+//
+// The draw stays in int64 end to end: DTot is an int64 edge-endpoint
+// mass, and squeezing it through int for Intn would overflow on 32-bit
+// builds (and on any future multigraph with >2^31 endpoints at one
+// block). Int63n consumes the RNG stream identically to Intn for all
+// in-range values, so this is overflow-proofing, not a behaviour
+// change. The remaining Intn draws on the proposal path (vertex degree,
+// block count C) are bounded by the vertex count and slice lengths,
+// which always fit in int.
 func (bm *Blockmodel) sampleBlockEdgeEndpoint(t int, rn *rng.RNG) int32 {
-	x := int64(rn.Intn(int(bm.DTot[t])))
+	x := rn.Int63n(bm.DTot[t])
 	var chosen int32 = -1
 	if x < bm.DOut[t] {
 		bm.M.RowNZUntil(t, func(s int32, count int64) bool {
@@ -125,77 +134,106 @@ func (bm *Blockmodel) sampleBlockEdgeEndpoint(t int, rn *rng.RNG) int32 {
 //
 // where t ranges over the blocks of v's neighbours, w_t is the number of
 // edges between v and block t, and the backward probability uses the
-// post-move matrix and degrees (reconstructed from the move's edit list,
-// so no mutation is needed).
+// post-move matrix and degrees. Post-move entries of row r and column r
+// are read straight from the Scratch's restricted view, which EvalMove
+// left in its post-edit state — no edit-list folding and no binary
+// searches into M. Degree-1 vertices short-circuit to single-term
+// probability sums.
 func (bm *Blockmodel) HastingsCorrection(md *MoveDelta) float64 {
 	r, s := md.From, md.To
 	if r == s {
 		return 1
 	}
+	cf := float64(bm.C)
+	sc := md.sc
 	vc := md.counts
+
+	if vc.out == nil && vc.in == nil {
+		// Degree-1 fast path (matching EvalMove's): one neighbour block t
+		// with weight w_t = k_v = 1, so each probability is its single
+		// term. 1·x and x/1 are exact, so this computes bit-identically
+		// to the general loops below.
+		if vc.KOut+vc.KIn == 0 {
+			return 1
+		}
+		t := vc.deg1T
+		mts := bm.M.Get(int(t), int(s))
+		mst := bm.M.Get(int(s), int(t))
+		pFwd := (float64(mts+mst) + 1) / (float64(bm.DTot[t]) + cf)
+		mtr := sc.colR.get(t) // M'[t][r]
+		mrt := sc.rowR.get(t) // M'[r][t]
+		dt := bm.DTot[t]
+		switch t {
+		case r:
+			dt = bm.DTot[r] - vc.KOut - vc.KIn
+		case s:
+			dt = bm.DTot[s] + vc.KOut + vc.KIn
+		}
+		pBwd := (float64(mtr+mrt) + 1) / (float64(dt) + cf)
+		if pFwd <= 0 {
+			return 1
+		}
+		return pBwd / pFwd
+	}
+
 	kv := float64(vc.KOut + vc.KIn)
 	if kv == 0 {
 		return 1
 	}
-	cf := float64(bm.C)
-	sc := md.sc
 
 	// Combined neighbour-block weights. Self-loop edges attach v to its
 	// own block: r before the move, s after.
 	sc.wFwd.reset(bm.C)
-	vc.out.iterate(func(t int32, c int64) { sc.wFwd.add(t, c) })
-	vc.in.iterate(func(t int32, c int64) { sc.wFwd.add(t, c) })
 	wFwd := &sc.wFwd
+	for _, t := range vc.out.keys {
+		if c := vc.out.val[t]; c != 0 {
+			wFwd.add(t, c)
+		}
+	}
+	for _, t := range vc.in.keys {
+		if c := vc.in.val[t]; c != 0 {
+			wFwd.add(t, c)
+		}
+	}
 	wBwd := wFwd
 	if vc.SelfLoops > 0 {
 		sc.wBwd.reset(bm.C)
-		wFwd.iterate(func(t int32, c int64) { sc.wBwd.add(t, c) })
+		for _, t := range wFwd.keys {
+			if c := wFwd.val[t]; c != 0 {
+				sc.wBwd.add(t, c)
+			}
+		}
 		wBwd = &sc.wBwd
 		wFwd.add(r, 2*vc.SelfLoops)
 		wBwd.add(s, 2*vc.SelfLoops)
 	}
 
-	// After-move lookups: the backward probability only needs post-move
-	// entries of row r and column r, so the edit list is folded into two
-	// stamped vectors; degrees use a two-entry patch.
-	sc.editRowR.reset(bm.C)
-	sc.editColR.reset(bm.C)
-	for _, e := range sc.edits {
-		if e.i == r {
-			sc.editRowR.add(e.j, e.delta)
-		}
-		if e.j == r {
-			sc.editColR.add(e.i, e.delta)
-		}
-	}
-	afterRowR := func(t int32) int64 { // M'[r][t]
-		return bm.M.Get(int(r), int(t)) + sc.editRowR.get(t)
-	}
-	afterColR := func(t int32) int64 { // M'[t][r]
-		return bm.M.Get(int(t), int(r)) + sc.editColR.get(t)
-	}
-	dTotAfter := func(t int32) int64 {
-		switch t {
-		case r:
-			return bm.DTot[r] - vc.KOut - vc.KIn
-		case s:
-			return bm.DTot[s] + vc.KOut + vc.KIn
-		default:
-			return bm.DTot[t]
-		}
-	}
-
 	var pFwd, pBwd float64
-	wFwd.iterate(func(t int32, w int64) {
+	for _, t := range wFwd.keys {
+		w := wFwd.val[t]
+		if w == 0 {
+			continue
+		}
 		mts := bm.M.Get(int(t), int(s))
 		mst := bm.M.Get(int(s), int(t))
 		pFwd += (float64(w) / kv) * (float64(mts+mst) + 1) / (float64(bm.DTot[t]) + cf)
-	})
-	wBwd.iterate(func(t int32, w int64) {
-		mtr := afterColR(t)
-		mrt := afterRowR(t)
-		pBwd += (float64(w) / kv) * (float64(mtr+mrt) + 1) / (float64(dTotAfter(t)) + cf)
-	})
+	}
+	for _, t := range wBwd.keys {
+		w := wBwd.val[t]
+		if w == 0 {
+			continue
+		}
+		mtr := sc.colR.get(t) // M'[t][r]: post-edit restricted view
+		mrt := sc.rowR.get(t) // M'[r][t]
+		dt := bm.DTot[t]
+		switch t {
+		case r:
+			dt = bm.DTot[r] - vc.KOut - vc.KIn
+		case s:
+			dt = bm.DTot[s] + vc.KOut + vc.KIn
+		}
+		pBwd += (float64(w) / kv) * (float64(mtr+mrt) + 1) / (float64(dt) + cf)
+	}
 	if pFwd <= 0 {
 		return 1
 	}

@@ -150,6 +150,55 @@ func (h *Histogram) BucketCount(i int) int64 {
 	return h.counts[i].Load()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket that contains
+// the target rank, the standard Prometheus histogram_quantile estimator.
+// The lowest bucket interpolates from 0; an estimate landing in the +Inf
+// overflow bucket is clamped to the highest finite bound. Returns 0 when
+// nothing has been observed (and on the nil Histogram).
+//
+// The estimate is only as fine as the bucket layout — callers that need
+// exact quantiles (e.g. the benchmark trajectory, whose regression
+// tolerance is tighter than the bucket ratio) must keep raw samples and
+// use this only for coarse live reporting.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+	}
+	// Overflow bucket: no finite upper bound to interpolate against.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // NanosBuckets is the shared latency bucket layout, in nanoseconds:
 // 1µs up to 10s in decade steps with a 1-2-5 subdivision. Pass
 // durations, sweep durations and collective latencies all use it so

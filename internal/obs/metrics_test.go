@@ -186,3 +186,40 @@ func TestRegisterCounterReplaces(t *testing.T) {
 		t.Fatalf("exposed counter reads %d, want the replacement's 9", got.Value())
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations in (10,20], none elsewhere: the median interpolates
+	// to the middle of the second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("median = %v, want 15 (midpoint of (10,20])", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("q=1 = %v, want 20 (upper bound of the occupied bucket)", got)
+	}
+	// Overflow observations clamp to the highest finite bound.
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(1e9)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile = %v, want clamp to 10", got)
+	}
+	// Nil histogram no-ops.
+	var hn *Histogram
+	if got := hn.Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v, want 0", got)
+	}
+	// Lowest bucket interpolates from zero.
+	h3 := NewHistogram([]float64{100})
+	for i := 0; i < 4; i++ {
+		h3.Observe(50)
+	}
+	if got := h3.Quantile(0.5); got != 50 {
+		t.Fatalf("first-bucket median = %v, want 50", got)
+	}
+}

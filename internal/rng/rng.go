@@ -118,6 +118,21 @@ func (r *RNG) Intn(n int) int {
 	return int(r.boundedUint64(uint64(n)))
 }
 
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+//
+// Use this (not Intn) when the bound is inherently 64-bit — block
+// degree totals, edge-endpoint masses — so the draw neither truncates
+// nor overflows on 32-bit builds. For any n representable as int the
+// draw consumes the stream identically to Intn(int(n)) and returns the
+// same value, so switching a call site from Intn to Int63n preserves
+// fixed-seed results bit for bit.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	return int64(r.boundedUint64(uint64(n)))
+}
+
 // boundedUint64 returns a uniform value in [0, n) using Lemire's
 // multiply-shift rejection method (no modulo bias).
 func (r *RNG) boundedUint64(n uint64) uint64 {

@@ -379,3 +379,46 @@ func TestUnmarshalRejectsBadState(t *testing.T) {
 		t.Fatal("failed unmarshal mutated the receiver")
 	}
 }
+
+// TestInt63nMatchesIntn: for bounds that fit in int, Int63n must consume
+// the stream identically to Intn and return the same values — the
+// property that lets proposal-path call sites switch to 64-bit bounds
+// without perturbing fixed-seed results.
+func TestInt63nMatchesIntn(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 7, 100, 1 << 20, 1<<31 - 1} {
+		a, b := New(42), New(42)
+		for i := 0; i < 200; i++ {
+			x, y := a.Intn(int(n)), b.Int63n(n)
+			if int64(x) != y {
+				t.Fatalf("n=%d draw %d: Intn=%d Int63n=%d", n, i, x, y)
+			}
+		}
+	}
+}
+
+func TestInt63nLargeBounds(t *testing.T) {
+	r := New(7)
+	n := int64(1)<<40 + 12345 // exceeds any 32-bit int bound
+	seenHigh := false
+	for i := 0; i < 2000; i++ {
+		v := r.Int63n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int63n(%d) = %d out of range", n, v)
+		}
+		if v > 1<<31 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("Int63n never drew above 2^31 over a 2^40 bound")
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	New(1).Int63n(0)
+}

@@ -226,6 +226,35 @@ func (m *Matrix) ColNZUntil(s int, fn func(r int32, count int64) bool) bool {
 	return true
 }
 
+// RowView returns row r's nonzero entries as parallel key/value slices
+// sorted ascending by key, the zero-overhead form of RowNZ for kernel
+// loops that cannot afford a callback per entry. ok is false in dense
+// mode (use DenseData there). The slices alias the matrix: the caller
+// must not mutate them, and any Add invalidates the view.
+func (m *Matrix) RowView(r int) (keys []int32, vals []int64, ok bool) {
+	if m.dense != nil {
+		return nil, nil, false
+	}
+	row := &m.rows[r]
+	return row.keys, row.vals, true
+}
+
+// ColView is RowView for column s; keys are row indices, ascending.
+func (m *Matrix) ColView(s int) (keys []int32, vals []int64, ok bool) {
+	if m.dense != nil {
+		return nil, nil, false
+	}
+	col := &m.cols[s]
+	return col.keys, col.vals, true
+}
+
+// DenseData returns the row-major C×C backing array in dense mode; ok
+// is false in sparse mode. Same aliasing contract as RowView: read
+// only, invalidated by Add.
+func (m *Matrix) DenseData() (data []int64, ok bool) {
+	return m.dense, m.dense != nil
+}
+
 // RowSum returns the sum of row r (the out-degree of block r).
 func (m *Matrix) RowSum(r int) int64 {
 	var sum int64

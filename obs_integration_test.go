@@ -192,13 +192,14 @@ func algByGoldenName(t *testing.T, name string) hsbp.Algorithm {
 	return 0
 }
 
-// BenchmarkObsOverheadASBP measures the telemetry cost on the A-SBP
-// hot path: "off" is the inert zero Obs every uninstrumented caller
-// gets (nil instruments, one nil-compare per observation point; the
-// design budget is <2% vs the pre-obs seed), "on" runs with a live
+// BenchmarkTimingObsOverheadASBP measures the telemetry cost on the
+// A-SBP hot path: "off" is the inert zero Obs every uninstrumented
+// caller gets (nil instruments, one nil-compare per observation point;
+// the design budget is <2% vs the pre-obs seed), "on" runs with a live
 // registry and an in-memory tracer (<10% budget — instruments update
-// at sweep granularity, never per proposal).
-func BenchmarkObsOverheadASBP(b *testing.B) {
+// at sweep granularity, never per proposal). The Timing prefix keeps
+// this wall-clock benchmark out of the CI shape-metric pass.
+func BenchmarkTimingObsOverheadASBP(b *testing.B) {
 	g, _, err := gen.Generate(gen.Spec{
 		Name: "obs-bench", Vertices: 300, Communities: 6,
 		MinDegree: 3, MaxDegree: 20, Exponent: 2.5, Ratio: 4, Seed: 3,

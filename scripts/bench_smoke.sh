@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Benchmark smoke tier for CI: run a reduced workload matrix through
+# cmd/bench and gate on p50 regressions with `bench -compare`.
+#
+# Three checks, in order:
+#   1. Record a candidate smoke entry (reduced matrix, smoke sizes).
+#   2. If a committed smoke baseline exists for THIS host class
+#      (BENCH_smoke_<host-class>.json), compare baseline -> candidate
+#      and fail when the matrix-wide geomean p50 ratio regresses beyond
+#      the tolerance (default >15% overall slowdown), or when any
+#      single cell slows beyond the per-cell catastrophe bound. The
+#      geomean carries the tight gate because per-cell p50s drift ±20%
+#      from per-process memory layout alone, independently per cell,
+#      which cancels in the geomean but makes cell-level 15% gating
+#      pure noise. On foreign host classes (every hosted CI runner),
+#      cross-machine timings are meaningless, so instead record a
+#      second candidate and compare run1 -> run2 as a stability check.
+#   3. Self-check the gate itself: doctor a copy of the candidate into
+#      a faster "baseline" and assert -compare exits 1 against it.
+#
+# The candidate JSON is left at $BENCH_SMOKE_OUT/candidate.json for CI
+# artifact upload. Runnable locally with no arguments.
+#
+# Refresh the committed baseline after an intentional perf change on a
+# matching machine:
+#
+#   go run ./cmd/bench -smoke -label smoke-baseline \
+#     -workloads 'proposal-point-eval|sweep-asbp|merge-scan|sparse-row-walk' \
+#     -out "BENCH_smoke_$(go run ./cmd/bench -hostclass).json"
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tol="${BENCH_SMOKE_TOLERANCE:-0.15}"      # matrix-wide geomean slowdown gate
+cell_tol="${BENCH_SMOKE_CELL_TOLERANCE:-0.50}" # per-cell catastrophe bound
+out="${BENCH_SMOKE_OUT:-$(mktemp -d)}"
+filter='proposal-point-eval|sweep-asbp|merge-scan|sparse-row-walk'
+max_geomean="$(awk "BEGIN{print 1+$tol}")"
+mkdir -p "$out"
+
+go build -o "$out/bench" ./cmd/bench
+
+hostclass="$("$out/bench" -hostclass)"
+baseline="BENCH_smoke_${hostclass}.json"
+
+echo "== bench smoke: recording candidate (host class $hostclass)"
+"$out/bench" -smoke -label ci-candidate -workloads "$filter" \
+  -out "$out/candidate.json" -quiet
+
+if [[ -f "$baseline" ]]; then
+  # Best-of-3 on top of the geomean gate: layout noise occasionally
+  # pushes even the geomean past the limit, but it does not reproduce,
+  # while a real code regression fails every attempt.
+  echo "== bench smoke: gating against committed $baseline" \
+    "(geomean limit ${max_geomean}x, per-cell tolerance $cell_tol)"
+  pass=0
+  for attempt in 1 2 3; do
+    if "$out/bench" -compare -tolerance "$cell_tol" -max-geomean "$max_geomean" \
+      "$baseline" "$out/candidate.json"; then
+      pass=1
+      break
+    fi
+    if [[ "$attempt" -lt 3 ]]; then
+      echo "== bench smoke: attempt $attempt regressed; re-recording candidate"
+      "$out/bench" -smoke -label ci-candidate -workloads "$filter" \
+        -out "$out/candidate.json" -quiet
+    fi
+  done
+  if [[ "$pass" -ne 1 ]]; then
+    echo "FAIL: p50 regression vs $baseline reproduced across 3 runs" >&2
+    exit 1
+  fi
+else
+  echo "== bench smoke: no committed baseline for $hostclass;" \
+    "running twice and checking run-to-run stability instead"
+  "$out/bench" -smoke -label ci-candidate-2 -workloads "$filter" \
+    -out "$out/candidate2.json" -quiet
+  # This only catches pathological machine/tooling instability, not
+  # code regressions (both runs are the same binary).
+  "$out/bench" -compare -tolerance 0.60 -max-geomean 1.25 \
+    "$out/candidate.json" "$out/candidate2.json"
+fi
+
+echo "== bench smoke: verifying the regression gate trips"
+# Doctor a pseudo-baseline whose p50s are twice as fast as the candidate;
+# comparing it against the candidate must report regressions and exit 1.
+python3 - "$out/candidate.json" "$out/doctored.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for e in doc["entries"]:
+    e["label"] = "doctored-fast"
+    for cell in e["results"].values():
+        cell["p50_ns"] /= 2.0
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+if "$out/bench" -compare -tolerance "$cell_tol" -max-geomean "$max_geomean" \
+  "$out/doctored.json" "$out/candidate.json" >"$out/injected.out" 2>&1; then
+  echo "FAIL: -compare accepted an injected 2x regression" >&2
+  cat "$out/injected.out" >&2
+  exit 1
+fi
+grep -q regressed "$out/injected.out" || {
+  echo "FAIL: -compare exited non-zero without reporting a regression" >&2
+  cat "$out/injected.out" >&2
+  exit 1
+}
+
+echo "bench smoke OK (candidate at $out/candidate.json)"
