@@ -29,6 +29,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mcmc"
 	"repro/internal/obs"
+	"repro/internal/sample"
 )
 
 func main() {
@@ -46,9 +47,23 @@ func main() {
 		threads = flag.Int("threads", cfg.Threads, "thread count for modelled speedups (paper: 128)")
 		seed    = flag.Uint64("seed", cfg.Seed, "random seed")
 		obsAddr = flag.String("obs", "", "serve live telemetry while the suite runs: Prometheus /metrics, /debug/vars, /debug/pprof")
+
+		sampleFraction = flag.Float64("sample-fraction", 0, "run every search through the SamBaS pipeline at this vertex fraction (0 = full-graph searches)")
+		sampleKind     = flag.String("sample-kind", "degree", "sampler for -sample-fraction: vertex, degree or edge")
+		sampleSeed     = flag.Uint64("sample-seed", 1, "seed of the sampler's random stream")
 	)
 	flag.Parse()
 	cfg.Scale, cfg.RealScale, cfg.Runs, cfg.Threads, cfg.Seed = *scale, *rscale, *runs, *threads, *seed
+	if *sampleFraction != 0 {
+		kind, err := sample.ParseKind(*sampleKind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Sample = sample.Options{Kind: kind, Fraction: *sampleFraction, Seed: *sampleSeed}
+		if err := cfg.Sample.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// SIGINT/SIGTERM stops the suite: running searches wind down at the
 	// next sweep boundary, remaining experiments are skipped, and the

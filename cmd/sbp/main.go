@@ -28,6 +28,7 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/sample"
 	"repro/internal/sbp"
 	"repro/internal/snapshot"
 )
@@ -70,6 +71,10 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "write durable search checkpoints to this directory; SIGINT/SIGTERM then stops at a clean boundary instead of losing the run")
 		ckptEvery = flag.Int("checkpoint-every", 0, "also checkpoint every N MCMC sweeps inside a phase (0 = iteration boundaries only)")
 		resume    = flag.Bool("resume", false, "continue the search checkpointed in -checkpoint-dir (bit-identical to the uninterrupted run)")
+
+		sampleFraction = flag.Float64("sample-fraction", 0, "SamBaS pipeline: detect on this fraction of vertices, extend to the full graph, fine-tune (0 = full-graph search)")
+		sampleKind     = flag.String("sample-kind", "degree", "sampler for -sample-fraction: vertex (uniform), degree (degree-weighted) or edge (random-edge-induced)")
+		sampleSeed     = flag.Uint64("sample-seed", 1, "seed of the sampler's random stream (independent of -seed)")
 	)
 	flag.Parse()
 	if *vv {
@@ -142,6 +147,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var sampleOpts sample.Options
+	if *sampleFraction != 0 {
+		kind, err := sample.ParseKind(*sampleKind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampleOpts = sample.Options{Kind: kind, Fraction: *sampleFraction, Seed: *sampleSeed}
+		if err := sampleOpts.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	g, err := graph.LoadFile(*graphPath)
 	if err != nil {
 		log.Fatalf("loading %s: %v", *graphPath, err)
@@ -171,6 +187,7 @@ func main() {
 		opts.Merge.Workers = *workers
 		opts.MCMC.HybridFraction = *fraction
 		opts.MCMC.Partition = part
+		opts.Sample = sampleOpts
 		opts.Verify = *verify
 		opts.Obs = telemetry
 		opts.Ctx = ctx
@@ -211,6 +228,13 @@ func main() {
 			i+1, res.NumCommunities, res.MDL, res.NormalizedMDL,
 			res.MaxImbalance, res.MeanImbalance,
 			res.MCMCTime.Round(time.Millisecond), res.TotalTime.Round(time.Millisecond))
+		if s := res.Sample; s != nil {
+			fmt.Printf("  sample: %s %.0f%% -> %d vertices / %d edges, detected C=%d, extended %d anchored + %d fallback\n",
+				s.Kind, 100*s.Fraction, s.Vertices, s.Edges, s.DetectBlocks, s.Anchored, s.Fallback)
+			fmt.Printf("  phases: sample %v, detect %v, extend %v, finetune %v\n",
+				s.SampleTime.Round(time.Millisecond), s.DetectTime.Round(time.Millisecond),
+				s.ExtendTime.Round(time.Millisecond), s.FinetuneTime.Round(time.Millisecond))
+		}
 		if best == nil || res.MDL < best.MDL {
 			best = res
 		}

@@ -110,7 +110,21 @@ func Run(opts Options, hists map[string]*obs.Histogram) (map[string]Result, erro
 				h = obs.NewHistogram(obs.NanosBuckets)
 				hists[key] = h
 			}
-			res := measure(run, opts, h)
+			cellOpts := opts
+			if wl.MaxSamples > 0 {
+				// Expensive end-to-end cells: cap the sample count and
+				// clamp warmup/alloc rounds to one run each.
+				if cellOpts.Samples > wl.MaxSamples {
+					cellOpts.Samples = wl.MaxSamples
+				}
+				if cellOpts.Warmup > 1 {
+					cellOpts.Warmup = 1
+				}
+				if cellOpts.AllocRounds > 1 {
+					cellOpts.AllocRounds = 1
+				}
+			}
+			res := measure(run, cellOpts, h)
 			results[key] = res
 			if opts.Progress != nil {
 				opts.Progress(fmt.Sprintf("%-44s p50 %12.1f ns/op  p95 %12.1f  avg %12.1f  %6.1f allocs/op",

@@ -10,6 +10,8 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/merge"
 	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/sbp"
 	"repro/internal/snapshot"
 )
 
@@ -26,6 +28,12 @@ type runFunc func() (ns float64, ops int64)
 type Workload struct {
 	Name  string
 	Setup func(sd *ShapeData, opts Options) (runFunc, error)
+
+	// MaxSamples, when non-zero, caps this workload's timed samples
+	// (and clamps warmup/alloc rounds to one): the end-to-end search
+	// cells run whole seconds per sample, so the matrix-wide sample
+	// count would turn one cell into minutes of wall clock.
+	MaxSamples int
 }
 
 // Workloads returns the benchmark workload columns, in canonical order.
@@ -39,6 +47,8 @@ func Workloads() []Workload {
 		{Name: "merge-scan", Setup: setupMergeScan},
 		{Name: "checkpoint-write", Setup: setupCheckpointWrite},
 		{Name: "sparse-row-walk", Setup: setupSparseRowWalk},
+		{Name: "search-full", Setup: searchSetup(0), MaxSamples: 3},
+		{Name: "sweep-sambas", Setup: searchSetup(0.3), MaxSamples: 3},
 	}
 }
 
@@ -173,6 +183,34 @@ func setupCheckpointWrite(sd *ShapeData, opts Options) (runFunc, error) {
 		}
 		return float64(time.Since(start).Nanoseconds()), 1
 	}, nil
+}
+
+// searchSetup measures a whole community-detection search end to end:
+// the full golden-section run on the shape when fraction is 0, or the
+// SamBaS pipeline (degree-weighted sample at the given fraction →
+// detect → extend → fine-tune) otherwise. The search-full/sweep-sambas
+// pair is the committed evidence for the sampling speedup: same graph,
+// same engine, same seeds, sampled p50 over full p50 is the ratio the
+// acceptance gate reads.
+func searchSetup(fraction float64) func(sd *ShapeData, opts Options) (runFunc, error) {
+	return func(sd *ShapeData, opts Options) (runFunc, error) {
+		sOpts := sbp.DefaultOptions(mcmc.AsyncGibbs)
+		sOpts.Seed = 31
+		sOpts.MCMC.Workers = opts.Workers
+		sOpts.Merge.Workers = opts.Workers
+		if fraction > 0 {
+			sOpts.Sample = sample.Options{Kind: sample.DegreeWeighted, Fraction: fraction, Seed: 31}
+		}
+		return func() (float64, int64) {
+			start := time.Now()
+			res := sbp.Run(sd.G, sOpts)
+			ns := float64(time.Since(start).Nanoseconds())
+			if res.NumCommunities < 1 {
+				panic("benchmark: search found no communities")
+			}
+			return ns, 1
+		}, nil
+	}
 }
 
 // setupSparseRowWalk measures raw block-matrix row iteration over the

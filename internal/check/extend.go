@@ -1,0 +1,122 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ExtendOracle is the dense reference for sample.Extend: it recomputes
+// the sampled blockmodel's counts directly from a parent-graph edge
+// scan (never via internal/blockmodel) and assigns every unsampled
+// vertex by exhaustive argmax over the smoothed local DCSBM
+// log-likelihood
+//
+//	score(v,r) = Σ_s kOut_s · ln((M[r][s]+1) / ((dOut[r]+1)·(dIn[s]+1)))
+//	           + Σ_s kIn_s  · ln((M[s][r]+1) / ((dOut[s]+1)·(dIn[r]+1)))
+//
+// with ties to the lowest block id, and vertices without sampled
+// neighbors to the block with the largest total degree. indexOf maps
+// parent vertex ids to sampled-subgraph ids (-1 = unsampled) and
+// subMembership gives the detected block of each subgraph vertex.
+func ExtendOracle(g *graph.Graph, indexOf []int32, subMembership []int32, c int) ([]int32, error) {
+	n := g.NumVertices()
+	if len(indexOf) != n {
+		return nil, fmt.Errorf("check: indexOf covers %d vertices, graph has %d", len(indexOf), n)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("check: need at least one block, got %d", c)
+	}
+	// blockOf[v] is the detected block of parent vertex v, -1 unsampled.
+	blockOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		sv := indexOf[v]
+		if sv < 0 {
+			blockOf[v] = -1
+			continue
+		}
+		if int(sv) >= len(subMembership) {
+			return nil, fmt.Errorf("check: indexOf[%d]=%d outside membership of length %d", v, sv, len(subMembership))
+		}
+		r := subMembership[sv]
+		if r < 0 || int(r) >= c {
+			return nil, fmt.Errorf("check: subgraph vertex %d in block %d outside [0,%d)", sv, r, c)
+		}
+		blockOf[v] = r
+	}
+
+	// Dense sampled-blockmodel counts from a direct edge scan: an edge
+	// contributes iff both endpoints are sampled.
+	m := make([]int64, c*c)
+	dOut := make([]int64, c)
+	dIn := make([]int64, c)
+	for _, e := range g.Edges() {
+		r, s := blockOf[e.Src], blockOf[e.Dst]
+		if r < 0 || s < 0 {
+			continue
+		}
+		m[int(r)*c+int(s)]++
+		dOut[r]++
+		dIn[s]++
+	}
+	fallback := int32(0)
+	for r := 1; r < c; r++ {
+		if dOut[r]+dIn[r] > dOut[fallback]+dIn[fallback] {
+			fallback = int32(r)
+		}
+	}
+
+	out := make([]int32, n)
+	kOut := make([]int64, c)
+	kIn := make([]int64, c)
+	for v := 0; v < n; v++ {
+		if blockOf[v] >= 0 {
+			out[v] = blockOf[v]
+			continue
+		}
+		for s := 0; s < c; s++ {
+			kOut[s], kIn[s] = 0, 0
+		}
+		anchored := false
+		for _, u := range g.OutNeighbors(v) {
+			if b := blockOf[u]; b >= 0 {
+				kOut[b]++
+				anchored = true
+			}
+		}
+		for _, u := range g.InNeighbors(v) {
+			if b := blockOf[u]; b >= 0 {
+				kIn[b]++
+				anchored = true
+			}
+		}
+		if !anchored {
+			out[v] = fallback
+			continue
+		}
+		best := int32(0)
+		bestScore := math.Inf(-1)
+		for r := 0; r < c; r++ {
+			score := 0.0
+			for s := 0; s < c; s++ {
+				if kOut[s] > 0 {
+					num := float64(m[r*c+s] + 1)
+					den := float64(dOut[r]+1) * float64(dIn[s]+1)
+					score += float64(kOut[s]) * math.Log(num/den)
+				}
+				if kIn[s] > 0 {
+					num := float64(m[s*c+r] + 1)
+					den := float64(dOut[s]+1) * float64(dIn[r]+1)
+					score += float64(kIn[s]) * math.Log(num/den)
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				best = int32(r)
+			}
+		}
+		out[v] = best
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/sample"
 	"repro/internal/sbp"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// Seed anchors all dataset generation and algorithm randomness.
 	Seed uint64
 
+	// Sample, when enabled, runs every sbp search through the SamBaS
+	// sampling pipeline (detect on a sampled subgraph, extend, fine-tune
+	// on the full graph — see internal/sample).
+	Sample sample.Options
+
 	// Obs carries the suite's telemetry handles; every sbp run the
 	// harness launches inherits them. The zero value disables all
 	// instrumentation.
@@ -64,6 +70,7 @@ func (c Config) options(alg mcmc.Algorithm, seed uint64) sbp.Options {
 	opts.Seed = seed
 	opts.MCMC.Workers = c.Workers
 	opts.Merge.Workers = c.Workers
+	opts.Sample = c.Sample
 	opts.Obs = c.Obs
 	opts.Ctx = c.Ctx
 	return opts

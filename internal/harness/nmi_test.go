@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNmiOrDifferentBlockCounts: harness NMI was only exercised at
+// full-partition shape (truth and result with the same block count);
+// sampled pipelines routinely hand it partitions with different block
+// counts, which must produce a real value in (0,1) — never the -1
+// sentinel, NaN, or an out-of-range result.
+func TestNmiOrDifferentBlockCounts(t *testing.T) {
+	truth := make([]int32, 64)
+	coarse := make([]int32, 64)
+	for i := range truth {
+		truth[i] = int32(i % 8)  // 8 blocks
+		coarse[i] = int32(i % 2) // 2 blocks
+	}
+	got := nmiOr(truth, coarse, -1)
+	if math.IsNaN(got) || got <= 0 || got >= 1 {
+		t.Fatalf("nmiOr(8-block truth, 2-block result) = %v, want in (0,1)", got)
+	}
+	// Same value regardless of which side is coarser.
+	if rev := nmiOr(coarse, truth, -1); math.Abs(rev-got) > 1e-12 {
+		t.Fatalf("nmiOr asymmetric across block counts: %v vs %v", got, rev)
+	}
+	// Sentinel still reserved for the no-truth case only.
+	if got := nmiOr(nil, coarse, -1); got != -1 {
+		t.Fatalf("nmiOr(nil truth) = %v, want -1", got)
+	}
+	// Repeat calls are bit-identical (the JSON-diff guarantee).
+	for i := 0; i < 20; i++ {
+		if again := nmiOr(truth, coarse, -1); again != got {
+			t.Fatalf("nmiOr not reproducible: %v then %v", got, again)
+		}
+	}
+}

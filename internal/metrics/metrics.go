@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -34,32 +35,42 @@ func NMI(x, y []int32) (float64, error) {
 	cy := relabel(y)
 	kx, ky := max32(cx)+1, max32(cy)+1
 
-	joint := make(map[int64]float64, n)
-	px := make([]float64, kx)
-	py := make([]float64, ky)
-	inv := 1 / float64(n)
+	// Integer contingency counts, converted to probabilities only inside
+	// the entropy/MI terms: exact marginals (a single-community partition
+	// has entropy exactly 0) and no drift from accumulating 1/n.
+	joint := make(map[int64]int64, n)
+	px := make([]int64, kx)
+	py := make([]int64, ky)
 	for i := 0; i < n; i++ {
-		px[cx[i]] += inv
-		py[cy[i]] += inv
-		joint[int64(cx[i])<<32|int64(cy[i])] += inv
+		px[cx[i]]++
+		py[cy[i]]++
+		joint[int64(cx[i])<<32|int64(cy[i])]++
 	}
-	hx := entropy(px)
-	hy := entropy(py)
-	// Accumulated probabilities can land a hair above 1, making the
-	// entropy of a single-community partition slightly negative; treat
-	// anything below this tolerance as zero entropy.
-	const zeroEntropy = 1e-9
-	if hx < zeroEntropy || hy < zeroEntropy {
-		if hx < zeroEntropy && hy < zeroEntropy {
+	hx := entropyCounts(px, n)
+	hy := entropyCounts(py, n)
+	if hx == 0 || hy == 0 {
+		// Zero entropy: a single community on one side carries no
+		// information, so NMI is 1 only when both sides are single.
+		if hx == 0 && hy == 0 {
 			return 1, nil
 		}
 		return 0, nil
 	}
+	// Sum the MI terms in sorted key order: ranging over the map would
+	// randomize the float association order per call, making NMI
+	// non-reproducible between identical runs.
+	keys := make([]int64, 0, len(joint))
+	for key := range joint {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
 	var mi float64
-	for key, p := range joint {
+	fn := float64(n)
+	for _, key := range keys {
 		a := key >> 32
 		b := key & 0xffffffff
-		mi += p * math.Log(p/(px[a]*py[b]))
+		p := float64(joint[key]) / fn
+		mi += p * math.Log(float64(joint[key])*fn/(float64(px[a])*float64(py[b])))
 	}
 	nmi := mi / math.Sqrt(hx*hy)
 	if nmi < 0 {
@@ -96,14 +107,23 @@ func max32(a []int32) int32 {
 	return m
 }
 
-func entropy(p []float64) float64 {
-	var h float64
-	for _, v := range p {
-		if v > 0 {
-			h -= v * math.Log(v)
+// entropyCounts returns the entropy of a partition given per-class
+// counts summing to n: H = ln(n) − (1/n)·Σ cᵢ·ln(cᵢ). A one-class
+// partition yields exactly 0.
+func entropyCounts(counts []int64, n int) float64 {
+	var s float64
+	classes := 0
+	for _, c := range counts {
+		if c > 0 {
+			classes++
+			s += float64(c) * math.Log(float64(c))
 		}
 	}
-	return h
+	if classes <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return math.Log(fn) - s/fn
 }
 
 // Modularity returns Newman's modularity of the assignment on the

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestNMIBitReproducible: NMI must return the identical float across
+// repeated calls on the same inputs. The original implementation summed
+// the mutual-information terms by ranging over a Go map, whose
+// randomized iteration order reassociated the float sum per call — with
+// enough joint cells, two calls disagreed in the low bits, so harness
+// JSON from identical runs did not compare equal.
+func TestNMIBitReproducible(t *testing.T) {
+	r := rng.New(17)
+	n := 5000
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(r.Intn(60)) // many joint cells → many float terms
+		y[i] = int32(r.Intn(45))
+	}
+	first, err := NMI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		got, err := NMI(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("call %d: NMI %v != first call %v (map-order float reassociation)", i, got, first)
+		}
+	}
+}
+
+// TestNMIDifferentBlockCounts covers the shape sampled pipelines
+// produce routinely: partitions of the same vertices with different
+// numbers of blocks. Refining one block of y into two in x keeps
+// I(X;Y) = H(Y), so NMI = sqrt(H(Y)/H(X)) analytically.
+func TestNMIDifferentBlockCounts(t *testing.T) {
+	y := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	x := []int32{0, 0, 1, 1, 2, 2, 3, 3}
+	got, err := NMI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(math.Log(2) / math.Log(4)) // = 1/sqrt(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NMI(refinement) = %v, want %v", got, want)
+	}
+	// And symmetry must hold exactly despite kx != ky.
+	rev, err := NMI(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-rev) > 1e-12 {
+		t.Fatalf("NMI asymmetric across block counts: %v vs %v", got, rev)
+	}
+}
+
+// TestNMISingleExactlyZeroEntropy: with integer counts a one-community
+// partition has exactly zero entropy regardless of n, so the 1-vs-0
+// conventions hold without a tolerance hack even at sizes where the
+// old 1/n accumulation drifted.
+func TestNMISingleExactlyZeroEntropy(t *testing.T) {
+	n := 1_000_003 // worst case for accumulated 1/n drift
+	single := make([]int32, n)
+	split := make([]int32, n)
+	for i := range split {
+		split[i] = int32(i % 7)
+	}
+	if got, _ := NMI(single, single); got != 1 {
+		t.Fatalf("NMI(single, single) = %v, want exactly 1", got)
+	}
+	if got, _ := NMI(single, split); got != 0 {
+		t.Fatalf("NMI(single, split) = %v, want exactly 0", got)
+	}
+	if got, _ := NMI(split, single); got != 0 {
+		t.Fatalf("NMI(split, single) = %v, want exactly 0", got)
+	}
+}

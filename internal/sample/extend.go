@@ -1,0 +1,151 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blockmodel"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// ExtendStats summarises one membership-extension pass.
+type ExtendStats struct {
+	// Anchored counts unsampled vertices assigned via at least one
+	// sampled neighbor (the local-likelihood argmax).
+	Anchored int
+
+	// Fallback counts unsampled vertices with no sampled neighbor,
+	// assigned to the highest-total-degree block (the degree prior).
+	Fallback int
+}
+
+// Extend propagates a detected membership of the sampled subgraph to
+// every vertex of the parent graph g. Sampled vertices keep their
+// detected block. Each unsampled vertex v goes to the block r that
+// maximizes its smoothed local DCSBM log-likelihood given v's sampled
+// neighbors under the sampled blockmodel:
+//
+//	score(v,r) = Σ_s kOut_s · ln((M[r][s]+1) / ((DOut[r]+1)·(DIn[s]+1)))
+//	           + Σ_s kIn_s  · ln((M[s][r]+1) / ((DOut[s]+1)·(DIn[r]+1)))
+//
+// where kOut_s (kIn_s) counts v's sampled out-neighbors (in-neighbors)
+// in block s. The +1 Laplace smoothing keeps unobserved block pairs
+// finite; ties break toward the lowest block id. Vertices with no
+// sampled neighbor fall back to the block with the largest total
+// degree (again, ties to the lowest id).
+//
+// The pass is read-only over shared state and independent per vertex,
+// so the result is identical for every worker count.
+func Extend(g *graph.Graph, sub *Subgraph, subMembership []int32, c int, workers int) ([]int32, ExtendStats, error) {
+	if len(sub.IndexOf) != g.NumVertices() {
+		return nil, ExtendStats{}, fmt.Errorf("sample: subgraph index map covers %d vertices, parent has %d",
+			len(sub.IndexOf), g.NumVertices())
+	}
+	if len(subMembership) != sub.NumSampled() {
+		return nil, ExtendStats{}, fmt.Errorf("sample: membership covers %d vertices, subgraph has %d",
+			len(subMembership), sub.NumSampled())
+	}
+	if c < 1 {
+		return nil, ExtendStats{}, fmt.Errorf("sample: need at least one block, got %d", c)
+	}
+	for sv, r := range subMembership {
+		if r < 0 || int(r) >= c {
+			return nil, ExtendStats{}, fmt.Errorf("sample: subgraph vertex %d in block %d outside [0,%d)", sv, r, c)
+		}
+	}
+	bm, err := blockmodel.FromAssignment(sub.G, subMembership, c, workers)
+	if err != nil {
+		return nil, ExtendStats{}, fmt.Errorf("sample: sampled blockmodel: %w", err)
+	}
+
+	// Fallback target: the block with the largest total degree.
+	fallback := int32(0)
+	for r := 1; r < c; r++ {
+		if bm.DTot[r] > bm.DTot[fallback] {
+			fallback = int32(r)
+		}
+	}
+
+	n := g.NumVertices()
+	membership := make([]int32, n)
+	anchored := make([]int64, parallel.DefaultWorkers(workers))
+	parallel.ForChunked(n, workers, func(lo, hi, worker int) {
+		// kOut/kCnt hold the per-block sampled-neighbor counts of the
+		// current vertex; touched tracks the dirtied entries so reset
+		// is O(neighbors), not O(C).
+		kOut := make([]int32, c)
+		kIn := make([]int32, c)
+		touched := make([]int32, 0, 16)
+		for v := lo; v < hi; v++ {
+			if sv := sub.IndexOf[v]; sv >= 0 {
+				membership[v] = subMembership[sv]
+				continue
+			}
+			touched = touched[:0]
+			for _, u := range g.OutNeighbors(v) {
+				if su := sub.IndexOf[u]; su >= 0 {
+					s := subMembership[su]
+					if kOut[s] == 0 && kIn[s] == 0 {
+						touched = append(touched, s)
+					}
+					kOut[s]++
+				}
+			}
+			for _, u := range g.InNeighbors(v) {
+				if su := sub.IndexOf[u]; su >= 0 {
+					s := subMembership[su]
+					if kOut[s] == 0 && kIn[s] == 0 {
+						touched = append(touched, s)
+					}
+					kIn[s]++
+				}
+			}
+			if len(touched) == 0 {
+				membership[v] = fallback
+				continue
+			}
+			membership[v] = argmaxBlock(bm, c, kOut, kIn)
+			anchored[worker]++
+			for _, s := range touched {
+				kOut[s] = 0
+				kIn[s] = 0
+			}
+		}
+	})
+	var st ExtendStats
+	for _, a := range anchored {
+		st.Anchored += int(a)
+	}
+	st.Fallback = n - sub.NumSampled() - st.Anchored
+	return membership, st, nil
+}
+
+// argmaxBlock scores every candidate block for one vertex and returns
+// the argmax, ties to the lowest id. Blocks are visited in ascending
+// order and neighbor blocks s likewise, so the float accumulation
+// order — hence the chosen block — is a pure function of the inputs.
+func argmaxBlock(bm *blockmodel.Blockmodel, c int, kOut, kIn []int32) int32 {
+	best := int32(0)
+	bestScore := math.Inf(-1)
+	for r := 0; r < c; r++ {
+		score := 0.0
+		for s := 0; s < c; s++ {
+			if ko := kOut[s]; ko > 0 {
+				num := float64(bm.M.Get(r, s) + 1)
+				den := float64(bm.DOut[r]+1) * float64(bm.DIn[s]+1)
+				score += float64(ko) * math.Log(num/den)
+			}
+			if ki := kIn[s]; ki > 0 {
+				num := float64(bm.M.Get(s, r) + 1)
+				den := float64(bm.DOut[s]+1) * float64(bm.DIn[r]+1)
+				score += float64(ki) * math.Log(num/den)
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = int32(r)
+		}
+	}
+	return best
+}

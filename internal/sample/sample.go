@@ -1,0 +1,361 @@
+// Package sample implements the SamBaS-style sampling pipeline for
+// stochastic block partitioning: draw a seeded vertex sample of the
+// graph, run the full SBP search on the induced subgraph (orders of
+// magnitude cheaper than searching the whole graph down from C = V),
+// extend the detected memberships to the unsampled vertices by local
+// DCSBM likelihood, and hand the extended state to the regular engines
+// for a membership-seeded fine-tune on the full graph.
+//
+// Three samplers are provided, all driven by an independent seeded
+// stream (internal/rng) so that a sampled run is reproducible bit for
+// bit at a fixed seed:
+//
+//   - UniformVertex: every vertex equally likely — the unbiased
+//     baseline, but on sparse graphs the induced subgraph keeps only
+//     ≈ fraction² of the edges.
+//   - DegreeWeighted: vertices weighted by total degree (Efraimidis–
+//     Spirakis reservoir keys), which concentrates the sample on the
+//     structurally informative part of the graph and keeps far more
+//     edges at equal vertex budget. This is the default for the
+//     pipeline.
+//   - RandomEdge: the vertex set induced by uniformly sampled edges —
+//     every sampled vertex arrives with at least one sampled edge, so
+//     the subgraph has no isolated vertices until the edge list runs
+//     out.
+//
+// The subgraph keeps a stable old↔new vertex index map: new ids are
+// assigned in increasing old-id order, so the mapping is a bijection
+// determined entirely by the sampled set, never by sampler visit order.
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Kind selects the sampling strategy.
+type Kind int
+
+const (
+	// UniformVertex samples vertices uniformly without replacement.
+	UniformVertex Kind = iota
+	// DegreeWeighted samples vertices without replacement with
+	// probability proportional to total degree.
+	DegreeWeighted
+	// RandomEdge samples uniform random edges and takes the induced
+	// vertex set, topping up with uniform vertices if the edge list is
+	// exhausted before the target fraction is reached.
+	RandomEdge
+)
+
+// String names the sampler kind as the CLIs spell it.
+func (k Kind) String() string {
+	switch k {
+	case UniformVertex:
+		return "vertex"
+	case DegreeWeighted:
+		return "degree"
+	case RandomEdge:
+		return "edge"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a CLI sampler name.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "vertex", "uniform":
+		return UniformVertex, nil
+	case "degree", "degree-weighted":
+		return DegreeWeighted, nil
+	case "edge", "random-edge":
+		return RandomEdge, nil
+	default:
+		return 0, fmt.Errorf("sample: unknown sampler %q (want vertex, degree or edge)", name)
+	}
+}
+
+// Options configures the sampling pipeline (sbp.Options.Sample). The
+// zero value disables sampling.
+type Options struct {
+	// Kind selects the sampler; the zero value with a non-zero Fraction
+	// is UniformVertex.
+	Kind Kind
+
+	// Fraction is the target share of vertices to sample, in (0, 1).
+	// 0 disables the pipeline. The realised sample hits the rounded
+	// target count exactly for the vertex samplers and within +1 for
+	// RandomEdge (an edge can bring in two new endpoints at once).
+	Fraction float64
+
+	// Seed drives the sampler's private random stream. It is
+	// deliberately independent of the search seed so the same sample
+	// can be re-detected under different search seeds and vice versa.
+	Seed uint64
+}
+
+// Enabled reports whether the options request sampling.
+func (o Options) Enabled() bool { return o.Fraction != 0 }
+
+// Validate rejects unusable option combinations.
+func (o Options) Validate() error {
+	if !o.Enabled() {
+		return nil
+	}
+	if o.Fraction < 0 || o.Fraction >= 1 {
+		return fmt.Errorf("sample: fraction %g outside (0,1)", o.Fraction)
+	}
+	switch o.Kind {
+	case UniformVertex, DegreeWeighted, RandomEdge:
+		return nil
+	default:
+		return fmt.Errorf("sample: unknown sampler kind %d", int(o.Kind))
+	}
+}
+
+// Subgraph is an induced subgraph of a parent graph together with the
+// stable vertex index maps between the two vertex spaces.
+type Subgraph struct {
+	// G is the induced subgraph: all parent edges whose endpoints are
+	// both sampled, re-indexed into [0, NumSampled).
+	G *graph.Graph
+
+	// VertexOf maps subgraph vertex ids to parent ids. It is strictly
+	// increasing: subgraph ids follow parent-id order, not sampler
+	// visit order, so the map is determined by the sampled set alone.
+	VertexOf []int32
+
+	// IndexOf maps parent ids to subgraph ids, -1 for unsampled
+	// vertices. IndexOf and VertexOf are mutually inverse bijections
+	// over the sampled set.
+	IndexOf []int32
+}
+
+// NumSampled returns the number of sampled vertices.
+func (s *Subgraph) NumSampled() int { return len(s.VertexOf) }
+
+// Draw samples a vertex subset of g per the options and builds the
+// induced subgraph. The sampler consumes only its own stream seeded
+// from opts.Seed, so two draws with equal options are bit-identical.
+func Draw(g *graph.Graph, opts Options) (*Subgraph, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.Enabled() {
+		return nil, fmt.Errorf("sample: Draw with sampling disabled (fraction 0)")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("sample: cannot sample an empty graph")
+	}
+	k := int(math.Round(opts.Fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rn := rng.New(opts.Seed)
+	var picked []int32
+	switch opts.Kind {
+	case UniformVertex:
+		picked = uniformVertices(n, k, rn)
+	case DegreeWeighted:
+		picked = degreeWeightedVertices(g, k, rn)
+	case RandomEdge:
+		picked = edgeInducedVertices(g, k, rn)
+	}
+	return induce(g, picked)
+}
+
+// uniformVertices picks k of n vertices uniformly without replacement
+// (partial Fisher–Yates).
+func uniformVertices(n, k int, rn *rng.RNG) []int32 {
+	pool := make([]int32, n)
+	for i := range pool {
+		pool[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rn.Intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}
+
+// degreeWeightedVertices picks k vertices without replacement with
+// probability proportional to total degree, via Efraimidis–Spirakis
+// reservoir keys: each vertex draws u ∈ [0,1) and is ranked by
+// u^(1/degree); the k largest keys are exactly a degree-weighted sample
+// without replacement. Zero-degree vertices get key −1 and are only
+// taken when the positive-degree vertices run out. Ties (and the
+// zero-degree tail) break by ascending vertex id for determinism.
+func degreeWeightedVertices(g *graph.Graph, k int, rn *rng.RNG) []int32 {
+	n := g.NumVertices()
+	keys := make([]float64, n)
+	for v := 0; v < n; v++ {
+		u := rn.Float64()
+		if d := g.Degree(v); d > 0 {
+			keys[v] = math.Pow(u, 1/float64(d))
+		} else {
+			keys[v] = -1
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Full sort keeps the selection independent of partial-selection
+	// implementation details; n log n is dwarfed by subgraph detection.
+	sortByKeyDesc(order, keys)
+	return order[:k]
+}
+
+// edgeInducedVertices walks a seeded permutation of the edge list,
+// accumulating endpoint vertices until the target count is reached
+// (possibly overshooting by one when an edge contributes two new
+// endpoints). If the edges are exhausted first — isolated vertices, or
+// a fraction larger than the edge-covered share of the graph — the
+// remaining budget is filled with a uniform shuffle of the still-
+// unsampled vertices.
+func edgeInducedVertices(g *graph.Graph, k int, rn *rng.RNG) []int32 {
+	n := g.NumVertices()
+	edges := g.Edges()
+	perm := rn.Perm(len(edges))
+	in := make([]bool, n)
+	picked := make([]int32, 0, k+1)
+	add := func(v int32) {
+		if !in[v] {
+			in[v] = true
+			picked = append(picked, v)
+		}
+	}
+	for _, ei := range perm {
+		if len(picked) >= k {
+			break
+		}
+		e := edges[ei]
+		add(e.Src)
+		add(e.Dst)
+	}
+	if len(picked) < k {
+		rest := make([]int32, 0, n-len(picked))
+		for v := 0; v < n; v++ {
+			if !in[v] {
+				rest = append(rest, int32(v))
+			}
+		}
+		shuffle32(rest, rn)
+		picked = append(picked, rest[:k-len(picked)]...)
+	}
+	return picked
+}
+
+// induce builds the induced subgraph over the picked vertex set with
+// subgraph ids assigned in increasing parent-id order.
+func induce(g *graph.Graph, picked []int32) (*Subgraph, error) {
+	n := g.NumVertices()
+	indexOf := make([]int32, n)
+	for i := range indexOf {
+		indexOf[i] = -1
+	}
+	for _, v := range picked {
+		indexOf[v] = 0 // mark; renumbered below in id order
+	}
+	vertexOf := make([]int32, 0, len(picked))
+	for v := 0; v < n; v++ {
+		if indexOf[v] == 0 {
+			indexOf[v] = int32(len(vertexOf))
+			vertexOf = append(vertexOf, int32(v))
+		}
+	}
+	var edges []graph.Edge
+	for sv, v := range vertexOf {
+		for _, u := range g.OutNeighbors(int(v)) {
+			if su := indexOf[u]; su >= 0 {
+				edges = append(edges, graph.Edge{Src: int32(sv), Dst: su})
+			}
+		}
+	}
+	sub, err := graph.New(len(vertexOf), edges)
+	if err != nil {
+		return nil, fmt.Errorf("sample: induced subgraph: %w", err)
+	}
+	return &Subgraph{G: sub, VertexOf: vertexOf, IndexOf: indexOf}, nil
+}
+
+// sortByKeyDesc sorts vertex ids by descending key, breaking ties by
+// ascending id (a total order, so the result is deterministic).
+func sortByKeyDesc(order []int32, keys []float64) {
+	quickSortKeys(order, keys, 0, len(order)-1)
+}
+
+func quickSortKeys(order []int32, keys []float64, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && keyLess(order, keys, j, j-1); j-- {
+					order[j], order[j-1] = order[j-1], order[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if keyLess(order, keys, mid, lo) {
+			order[mid], order[lo] = order[lo], order[mid]
+		}
+		if keyLess(order, keys, hi, lo) {
+			order[hi], order[lo] = order[lo], order[hi]
+		}
+		if keyLess(order, keys, hi, mid) {
+			order[hi], order[mid] = order[mid], order[hi]
+		}
+		pivot := order[mid]
+		pk := keys[pivot]
+		i, j := lo, hi
+		for i <= j {
+			for pairLess(keys[order[i]], order[i], pk, pivot) {
+				i++
+			}
+			for pairLess(pk, pivot, keys[order[j]], order[j]) {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			quickSortKeys(order, keys, lo, j)
+			lo = i
+		} else {
+			quickSortKeys(order, keys, i, hi)
+			hi = j
+		}
+	}
+}
+
+// keyLess orders positions a,b of order by (descending key, ascending id).
+func keyLess(order []int32, keys []float64, a, b int) bool {
+	return pairLess(keys[order[a]], order[a], keys[order[b]], order[b])
+}
+
+func pairLess(ka float64, va int32, kb float64, vb int32) bool {
+	if ka != kb {
+		return ka > kb
+	}
+	return va < vb
+}
+
+// shuffle32 is a Fisher–Yates shuffle over int32 slices.
+func shuffle32(s []int32, rn *rng.RNG) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := rn.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,283 @@
+package sample_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// testGraphs returns the property-test corpus: random DCSBM graphs plus
+// hand-built shapes exercising isolated vertices, self-loops and
+// parallel edges.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+	for _, spec := range []gen.Spec{
+		{Name: "dcsbm-small", Vertices: 120, Communities: 4, MinDegree: 2, MaxDegree: 20, Exponent: 2.5, Ratio: 3, Seed: 11},
+		{Name: "dcsbm-skewed", Vertices: 300, Communities: 6, MinDegree: 1, MaxDegree: 60, Exponent: 2.2, Ratio: 2, SizeSkew: 0.5, Seed: 12},
+	} {
+		g, _, err := gen.Generate(spec)
+		if err != nil {
+			t.Fatalf("generate %s: %v", spec.Name, err)
+		}
+		out[spec.Name] = g
+	}
+	// 40 vertices, the last 10 isolated; self-loop on 0 and a parallel
+	// pair 1→2.
+	var edges []graph.Edge
+	edges = append(edges, graph.Edge{Src: 0, Dst: 0}, graph.Edge{Src: 1, Dst: 2}, graph.Edge{Src: 1, Dst: 2})
+	r := rng.New(7)
+	for i := 0; i < 60; i++ {
+		edges = append(edges, graph.Edge{Src: int32(r.Intn(30)), Dst: int32(r.Intn(30))})
+	}
+	g, err := graph.New(40, edges)
+	if err != nil {
+		t.Fatalf("build isolated-tail graph: %v", err)
+	}
+	out["isolated-tail"] = g
+	return out
+}
+
+func allKinds() []sample.Kind {
+	return []sample.Kind{sample.UniformVertex, sample.DegreeWeighted, sample.RandomEdge}
+}
+
+// TestSamplerProperties checks, for every sampler kind on every corpus
+// graph and several fractions: the sampled vertex count hits the target
+// (±1 for the edge sampler), the index maps are mutually inverse
+// bijections with stable ordering, the induced subgraph contains
+// exactly the parent edges between sampled vertices, and a repeat draw
+// at the same seed is bit-identical.
+func TestSamplerProperties(t *testing.T) {
+	graphs := testGraphs(t)
+	for name, g := range graphs {
+		for _, kind := range allKinds() {
+			for _, frac := range []float64{0.1, 0.3, 0.55} {
+				t.Run(fmt.Sprintf("%s/%s/f%.2f", name, kind, frac), func(t *testing.T) {
+					opts := sample.Options{Kind: kind, Fraction: frac, Seed: 42}
+					sub, err := sample.Draw(g, opts)
+					if err != nil {
+						t.Fatalf("Draw: %v", err)
+					}
+					checkVertexCount(t, g, sub, opts)
+					checkIndexBijection(t, g, sub)
+					checkInducedEdges(t, g, sub)
+					again, err := sample.Draw(g, opts)
+					if err != nil {
+						t.Fatalf("repeat Draw: %v", err)
+					}
+					checkSameSubgraph(t, sub, again)
+				})
+			}
+		}
+	}
+}
+
+func checkVertexCount(t *testing.T, g *graph.Graph, sub *sample.Subgraph, opts sample.Options) {
+	t.Helper()
+	want := int(math.Round(opts.Fraction * float64(g.NumVertices())))
+	if want < 1 {
+		want = 1
+	}
+	got := sub.NumSampled()
+	slack := 0
+	if opts.Kind == sample.RandomEdge {
+		slack = 1 // one edge can bring in two new endpoints
+	}
+	if got < want || got > want+slack {
+		t.Errorf("sampled %d vertices, want %d (+%d)", got, want, slack)
+	}
+}
+
+func checkIndexBijection(t *testing.T, g *graph.Graph, sub *sample.Subgraph) {
+	t.Helper()
+	if len(sub.IndexOf) != g.NumVertices() {
+		t.Fatalf("IndexOf covers %d vertices, parent has %d", len(sub.IndexOf), g.NumVertices())
+	}
+	if sub.G.NumVertices() != len(sub.VertexOf) {
+		t.Fatalf("subgraph has %d vertices, VertexOf %d", sub.G.NumVertices(), len(sub.VertexOf))
+	}
+	for i, v := range sub.VertexOf {
+		if i > 0 && v <= sub.VertexOf[i-1] {
+			t.Fatalf("VertexOf not strictly increasing at %d: %d after %d", i, v, sub.VertexOf[i-1])
+		}
+		if v < 0 || int(v) >= g.NumVertices() {
+			t.Fatalf("VertexOf[%d]=%d outside parent", i, v)
+		}
+		if sub.IndexOf[v] != int32(i) {
+			t.Fatalf("IndexOf[VertexOf[%d]=%d] = %d, want %d", i, v, sub.IndexOf[v], i)
+		}
+	}
+	sampled := 0
+	for v, sv := range sub.IndexOf {
+		if sv < 0 {
+			continue
+		}
+		sampled++
+		if int(sv) >= len(sub.VertexOf) || sub.VertexOf[sv] != int32(v) {
+			t.Fatalf("VertexOf[IndexOf[%d]=%d] != %d", v, sv, v)
+		}
+	}
+	if sampled != len(sub.VertexOf) {
+		t.Fatalf("IndexOf marks %d sampled vertices, VertexOf has %d", sampled, len(sub.VertexOf))
+	}
+}
+
+// checkInducedEdges asserts multiset equality between the subgraph's
+// edges (mapped back to parent ids) and the parent edges whose
+// endpoints are both sampled — no dangling endpoints, nothing dropped,
+// nothing invented, parallel edges preserved.
+func checkInducedEdges(t *testing.T, g *graph.Graph, sub *sample.Subgraph) {
+	t.Helper()
+	want := make(map[[2]int32]int)
+	for _, e := range g.Edges() {
+		if sub.IndexOf[e.Src] >= 0 && sub.IndexOf[e.Dst] >= 0 {
+			want[[2]int32{e.Src, e.Dst}]++
+		}
+	}
+	got := make(map[[2]int32]int)
+	for _, e := range sub.G.Edges() {
+		if int(e.Src) >= len(sub.VertexOf) || int(e.Dst) >= len(sub.VertexOf) {
+			t.Fatalf("subgraph edge %d→%d dangles outside [0,%d)", e.Src, e.Dst, len(sub.VertexOf))
+		}
+		got[[2]int32{sub.VertexOf[e.Src], sub.VertexOf[e.Dst]}]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("induced edge support %d pairs, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("edge %d→%d multiplicity %d, want %d", k[0], k[1], got[k], n)
+		}
+	}
+}
+
+func checkSameSubgraph(t *testing.T, a, b *sample.Subgraph) {
+	t.Helper()
+	if len(a.VertexOf) != len(b.VertexOf) {
+		t.Fatalf("repeat draw sampled %d vertices, first %d", len(b.VertexOf), len(a.VertexOf))
+	}
+	for i := range a.VertexOf {
+		if a.VertexOf[i] != b.VertexOf[i] {
+			t.Fatalf("repeat draw VertexOf[%d]=%d, first %d", i, b.VertexOf[i], a.VertexOf[i])
+		}
+	}
+	ae, be := a.G.Edges(), b.G.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("repeat draw has %d edges, first %d", len(be), len(ae))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("repeat draw edge[%d]=%v, first %v", i, be[i], ae[i])
+		}
+	}
+}
+
+// TestSamplerSeedsDiffer guards against a sampler ignoring its seed:
+// two seeds must produce different vertex sets on a graph large enough
+// for collisions to be effectively impossible.
+func TestSamplerSeedsDiffer(t *testing.T) {
+	g := testGraphs(t)["dcsbm-skewed"]
+	for _, kind := range allKinds() {
+		a, err := sample.Draw(g, sample.Options{Kind: kind, Fraction: 0.3, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		b, err := sample.Draw(g, sample.Options{Kind: kind, Fraction: 0.3, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		same := len(a.VertexOf) == len(b.VertexOf)
+		if same {
+			for i := range a.VertexOf {
+				if a.VertexOf[i] != b.VertexOf[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%v: seeds 1 and 2 drew identical samples", kind)
+		}
+	}
+}
+
+// TestDegreeWeightedPrefersHubs: with a strong hub-and-spokes shape the
+// degree-weighted sampler must take the hub at any usable fraction.
+func TestDegreeWeightedPrefersHubs(t *testing.T) {
+	var edges []graph.Edge
+	for v := int32(1); v < 100; v++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: v})
+	}
+	g, err := graph.New(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		sub, err := sample.Draw(g, sample.Options{Kind: sample.DegreeWeighted, Fraction: 0.1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.IndexOf[0] < 0 {
+			t.Fatalf("seed %d: degree-99 hub not sampled at fraction 0.1", seed)
+		}
+	}
+}
+
+// TestRandomEdgeCoversIsolatedTail: when the fraction demands more
+// vertices than the edges can supply, the edge sampler must fall back
+// to uniform fill and still hit the target count.
+func TestRandomEdgeCoversIsolatedTail(t *testing.T) {
+	// 3 edges among vertices 0..3, vertices 4..19 isolated.
+	g, err := graph.New(20, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sample.Draw(g, sample.Options{Kind: sample.RandomEdge, Fraction: 0.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NumSampled(); got != 16 {
+		t.Fatalf("sampled %d vertices, want 16", got)
+	}
+}
+
+func TestDrawValidation(t *testing.T) {
+	g, err := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []sample.Options{
+		{Fraction: -0.1},
+		{Fraction: 1},
+		{Fraction: 1.5},
+		{Kind: sample.Kind(99), Fraction: 0.5},
+	} {
+		if _, err := sample.Draw(g, bad); err == nil {
+			t.Errorf("Draw(%+v) accepted invalid options", bad)
+		}
+	}
+	if _, err := sample.Draw(g, sample.Options{}); err == nil {
+		t.Error("Draw with sampling disabled should error")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, kind := range allKinds() {
+		got, err := sample.ParseKind(kind.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", kind.String(), err)
+		}
+		if got != kind {
+			t.Errorf("ParseKind(%q) = %v, want %v", kind.String(), got, kind)
+		}
+	}
+	if _, err := sample.ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/sample"
 	"repro/internal/snapshot"
 )
 
@@ -47,6 +48,17 @@ type Options struct {
 
 	// Seed seeds the deterministic RNG tree for the whole run.
 	Seed uint64
+
+	// Sample, when enabled (Fraction > 0), runs the SamBaS pipeline
+	// instead of starting the search from the identity partition: detect
+	// communities with a nested search on a sampled subgraph, extend the
+	// memberships to the full graph, and fine-tune from the extended
+	// state with the regular engines. Orders of magnitude faster on
+	// large graphs at a small, quality-floor-tested NMI cost (see
+	// internal/sample). The sampler's stream is seeded by Sample.Seed
+	// and detection by Seed^salt, so sampled runs are bit-identical at
+	// fixed seeds/workers just like full runs.
+	Sample sample.Options
 
 	// Verify runs the whole search in oracle-verified mode: it enables
 	// MCMC.Verify and Merge.Verify (every incremental ΔS and Hastings
@@ -149,6 +161,11 @@ type Result struct {
 	// Resumed reports that this result continued from a checkpoint; its
 	// Iterations and time totals cover only the post-resume portion.
 	Resumed bool
+
+	// Sample describes the sampling pipeline when the run was seeded
+	// through Options.Sample; nil for full-graph runs and for resumed
+	// runs (the pipeline ran before the checkpoint being resumed).
+	Sample *SampleStats
 }
 
 // bracketEntry is one endpoint of the golden-section search: a blockmodel
@@ -233,9 +250,13 @@ func (b *bracket) done() bool {
 }
 
 // Run performs community detection on g and returns the best blockmodel
-// found (lowest MDL over the whole search).
+// found (lowest MDL over the whole search). Invalid sampling options
+// (Options.Sample) panic; every other fresh-run configuration succeeds.
 func Run(g *graph.Graph, opts Options) *Result {
-	res, _ := run(g, opts, nil)
+	res, err := run(g, opts, nil)
+	if err != nil {
+		panic(fmt.Sprintf("sbp: %v", err))
+	}
 	return res
 }
 
@@ -287,11 +308,27 @@ func run(g *graph.Graph, opts Options, rs *snapshot.SearchState) (*Result, error
 	iterStart := 0
 	var pending *snapshot.PhaseState
 	if rs == nil {
-		cur := blockmodel.Identity(g, opts.MCMC.Workers)
-		if opts.Verify {
-			check.MustInvariants(cur, "initial identity state")
+		if opts.Sample.Enabled() {
+			// SamBaS pipeline: seed the bracket from a sampled
+			// detect-extend-refine instead of the identity partition.
+			st, interrupted, err := seedFromSample(g, &opts, rn, br, opts.Obs.WithSpan(runSpan))
+			if err != nil {
+				if runSpan != nil {
+					runSpan.End(obs.F("error", err.Error()))
+				}
+				return nil, err
+			}
+			res.Sample = st
+			if interrupted {
+				res.Interrupted = true
+			}
+		} else {
+			cur := blockmodel.Identity(g, opts.MCMC.Workers)
+			if opts.Verify {
+				check.MustInvariants(cur, "initial identity state")
+			}
+			br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
 		}
-		br.insert(&bracketEntry{bm: cur.Clone(), mdl: cur.MDL(), c: cur.NumNonEmptyBlocks()})
 	} else {
 		if err := restoreBracket(br, rs, g, opts.Merge.Workers); err != nil {
 			return nil, err
@@ -457,6 +494,14 @@ func run(g *graph.Graph, opts Options, rs *snapshot.SearchState) (*Result, error
 	res.NormalizedMDL = best.bm.NormalizedMDL()
 	res.NumCommunities = best.c
 	res.TotalTime = time.Since(start)
+	if res.Sample != nil {
+		// Everything not spent sampling/detecting/extending is fine-tune:
+		// the seeded refinement pass plus the continued outer search.
+		res.Sample.FinetuneTime = res.TotalTime -
+			res.Sample.SampleTime - res.Sample.DetectTime - res.Sample.ExtendTime
+		reg.Counter("sbp_finetune_ns_total", "wall nanoseconds fine-tuning sampled runs").
+			Add(res.Sample.FinetuneTime.Nanoseconds())
+	}
 	gMDL.Set(res.MDL)
 	gBlocks.Set(float64(res.NumCommunities))
 	if runSpan != nil {

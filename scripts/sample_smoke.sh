@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Sampling-pipeline smoke tier for CI: enforce the committed NMI quality
+# floors, then drive the SamBaS pipeline end to end through cmd/sbp.
+#
+# Two legs:
+#   1. Quality floors: the seeded statistical-quality suite
+#      (internal/sample TestQualityFloors) runs the sampled pipeline at
+#      fraction 0.3 on two Table-1 graph classes (S6, S14) for all three
+#      sampler kinds and asserts NMI against the committed golden
+#      full-graph partitions >= the committed per-class floors
+#      (internal/sample/testdata/quality_S*.json).
+#   2. CLI: generate a planted graph, run `sbp -sample-fraction 0.3`
+#      twice (results must be identical — the pipeline is deterministic
+#      at fixed seeds), and assert the detected partition scores
+#      NMI >= $SAMPLE_SMOKE_NMI_FLOOR against the planted truth.
+#
+# Runnable locally with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+nmi_floor="${SAMPLE_SMOKE_NMI_FLOOR:-0.70}"
+
+echo "== sample smoke: quality floors (committed goldens, 2 classes x 3 samplers)"
+go test ./internal/sample -run 'TestQualityFloors' -count=1
+
+echo "== sample smoke: CLI pipeline determinism + truth NMI"
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/sbp" ./cmd/sbp
+
+"$tmp/gengraph" -vertices 3000 -communities 12 -min-degree 3 -max-degree 60 \
+  -seed 7 -out "$tmp/graph.tsv" -truth "$tmp/truth.tsv"
+
+run_flags=(-graph "$tmp/graph.tsv" -truth "$tmp/truth.tsv" -alg asbp -workers 2 \
+  -seed 11 -runs 1 -sample-fraction 0.3 -sample-kind degree -sample-seed 5)
+
+"$tmp/sbp" "${run_flags[@]}" >"$tmp/run1.out" 2>&1 \
+  || { echo "FAIL: sampled run exited non-zero"; cat "$tmp/run1.out"; exit 1; }
+"$tmp/sbp" "${run_flags[@]}" >"$tmp/run2.out" 2>&1 \
+  || { echo "FAIL: repeat sampled run exited non-zero"; cat "$tmp/run2.out"; exit 1; }
+
+grep -q '^  sample: degree 30%' "$tmp/run1.out" || {
+  echo "FAIL: run summary is missing the sampling-pipeline line" >&2
+  cat "$tmp/run1.out" >&2
+  exit 1
+}
+
+best1="$(grep '^best:' "$tmp/run1.out" | sed 's/, elapsed=.*//')"
+best2="$(grep '^best:' "$tmp/run2.out" | sed 's/, elapsed=.*//')"
+if [ -z "$best1" ] || [ "$best1" != "$best2" ]; then
+  echo "FAIL: sampled runs not deterministic at fixed seeds" >&2
+  echo "  run1: $best1" >&2
+  echo "  run2: $best2" >&2
+  exit 1
+fi
+
+nmi="$(awk '/^NMI vs/ {print $NF}' "$tmp/run1.out")"
+[ -n "$nmi" ] || { echo "FAIL: no NMI line in sampled run output"; cat "$tmp/run1.out"; exit 1; }
+awk "BEGIN{exit !($nmi >= $nmi_floor)}" || {
+  echo "FAIL: sampled-pipeline NMI $nmi below floor $nmi_floor" >&2
+  cat "$tmp/run1.out" >&2
+  exit 1
+}
+
+echo "sample smoke OK (CLI NMI $nmi >= $nmi_floor, deterministic: $best1)"
