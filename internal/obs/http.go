@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -31,15 +32,39 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
+// Server is a running telemetry endpoint started by Serve. Shutdown is
+// the graceful path: the listener closes immediately (no new scrapes)
+// but in-flight requests — a /metrics scrape mid-write, a long
+// /debug/pprof/profile capture — run to completion, bounded by the
+// caller's context. Close is the hard path and drops connections.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown gracefully stops the endpoint: it stops accepting new
+// connections and waits for in-flight requests to drain, or for ctx to
+// expire, whichever comes first. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close immediately closes the endpoint, dropping any in-flight
+// requests. Prefer Shutdown — a scraper cut off mid-exposition reads a
+// torn metrics page.
+func (s *Server) Close() error { return s.srv.Close() }
+
 // Serve binds addr (":6060", "localhost:0", ...) and serves Handler(reg)
 // in a background goroutine. It returns the server and the bound
-// address (useful with port 0). The caller shuts down via srv.Close.
-func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+// address (useful with port 0). The caller stops it with srv.Shutdown
+// (graceful: in-flight scrapes drain) or srv.Close (immediate).
+func Serve(addr string, reg *Registry) (*Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: Handler(reg)}
 	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
+	return &Server{srv: srv, addr: ln.Addr().String()}, ln.Addr().String(), nil
 }

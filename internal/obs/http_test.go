@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
@@ -72,5 +74,64 @@ func TestServeBindsEphemeralPort(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "serve_test 1.5") {
 		t.Fatalf("metrics over Serve missing gauge:\n%s", body)
+	}
+}
+
+func TestServeGracefulShutdownDrainsInFlight(t *testing.T) {
+	reg := NewRegistry()
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, Serve returned %q", srv.Addr(), addr)
+	}
+
+	// Start a request that takes ~1s to complete (a short CPU profile
+	// capture), then shut down while it is in flight. Shutdown must wait
+	// for it instead of cutting the connection.
+	type result struct {
+		code int
+		err  error
+	}
+	started := make(chan struct{})
+	done := make(chan result, 1)
+	go func() {
+		req, _ := http.NewRequest("GET", "http://"+addr+"/debug/pprof/profile?seconds=1", nil)
+		close(started)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, rerr := io.ReadAll(resp.Body)
+		done <- result{code: resp.StatusCode, err: rerr}
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// The in-flight profile must have completed successfully.
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request dropped by shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request status %d", r.code)
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
 	}
 }

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// GraphStats is the JSON stats document of one graph (GET /graphs and
+// GET /graphs/{name}).
+type GraphStats struct {
+	Name         string      `json:"name"`
+	Config       GraphConfig `json:"config"`
+	Vertices     int         `json:"vertices"`
+	Edges        int         `json:"edges"`
+	Batches      int         `json:"batches"`
+	Communities  int         `json:"communities"`
+	MDL          float64     `json:"mdl,omitempty"`
+	FullSearches int         `json:"full_searches"`
+	Escalations  int         `json:"escalations"`
+	Resumes      int         `json:"resumes"`
+	Pending      int         `json:"pending"`
+	// PartitionAgeSeconds is the time since the partition last changed;
+	// -1 before the first batch.
+	PartitionAgeSeconds float64 `json:"partition_age_seconds"`
+}
+
+// stats builds the document from the current snapshot (lock-free).
+func (g *graphState) stats() GraphStats {
+	st := GraphStats{
+		Name:                g.name,
+		Config:              g.gc,
+		Resumes:             g.det.Resumes(),
+		Pending:             len(g.queue),
+		PartitionAgeSeconds: -1,
+	}
+	if snap := g.det.Snapshot(); snap != nil {
+		st.Vertices = snap.Vertices
+		st.Edges = snap.Edges
+		st.Batches = snap.Batches
+		st.Communities = snap.Blocks
+		st.MDL = snap.MDL
+		st.FullSearches = snap.FullSearches
+		st.Escalations = snap.Escalations
+	}
+	if last := g.lastRefresh.Load(); last > 0 {
+		st.PartitionAgeSeconds = time.Since(time.Unix(0, last)).Seconds()
+	}
+	return st
+}
+
+// age refreshes the partition-age gauge from lastRefresh.
+func (g *graphState) age() {
+	if last := g.lastRefresh.Load(); last > 0 {
+		g.ageGauge.Set(time.Since(time.Unix(0, last)).Seconds())
+	}
+}
+
+// Handler returns the service API:
+//
+//	GET    /healthz                           liveness ("ok", or "draining" with 503)
+//	GET    /graphs                            stats of every graph
+//	POST   /graphs/{name}                     register (JSON GraphConfig body, may be empty)
+//	GET    /graphs/{name}                     stats of one graph
+//	DELETE /graphs/{name}                     deregister and delete the checkpoint
+//	POST   /graphs/{name}/edges               ingest an edge batch ("src dst" lines);
+//	                                          ?wait=0 queues without waiting (202)
+//	POST   /graphs/{name}/checkpoint          force a durable checkpoint
+//	GET    /graphs/{name}/vertices/{v}        community of one vertex
+//	GET    /graphs/{name}/communities/{c}     size and members of one community (?members=0 omits members)
+//	GET    /graphs/{name}/assignment          full partition as "vertex community" lines
+//	GET    /metrics, /debug/*                 internal/obs exposition (when a registry is attached)
+//
+// Errors are JSON {"error": "..."} with conventional status codes:
+// 404 unknown graph/vertex/community, 409 already registered or no
+// partition yet, 429 ingest backpressure, 503 draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /graphs", s.handleList)
+	mux.HandleFunc("POST /graphs/{name}", s.handleRegister)
+	mux.HandleFunc("GET /graphs/{name}", s.handleStats)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeregister)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleIngest)
+	mux.HandleFunc("POST /graphs/{name}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /graphs/{name}/vertices/{vertex}", s.handleVertex)
+	mux.HandleFunc("GET /graphs/{name}/communities/{community}", s.handleCommunity)
+	mux.HandleFunc("GET /graphs/{name}/assignment", s.handleAssignment)
+	if s.cfg.Obs.Metrics != nil {
+		oh := obs.Handler(s.cfg.Obs.Metrics)
+		mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Partition age is a true gauge: refresh it at scrape time
+			// so a stalled stream shows a growing age, not the age at
+			// its last ingest.
+			s.mu.RLock()
+			for _, g := range s.graphs {
+				g.age()
+			}
+			s.mu.RUnlock()
+			oh.ServeHTTP(w, r)
+		}))
+		mux.Handle("/debug/", oh)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps service errors onto HTTP codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	graphs := make([]*graphState, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		graphs = append(graphs, g)
+	}
+	s.mu.RUnlock()
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].name < graphs[j].name })
+	out := make([]GraphStats, len(graphs))
+	for i, g := range graphs {
+		out[i] = g.stats()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var gc GraphConfig
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&gc); err != nil {
+			writeError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+	}
+	if err := s.Register(name, gc); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	g, err := s.lookup(name)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, g.stats())
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.Deregister(r.PathValue("name")); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.stats())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	g, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if !s.policy.Enabled() {
+		writeError(w, http.StatusConflict, "server has no data directory; checkpoints are disabled")
+		return
+	}
+	if err := s.checkpointGraph(g); err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"path": s.policy.StreamPath(g.name)})
+}
+
+// ParseEdges reads "src dst" whitespace-separated pairs, one per line;
+// blank lines and #-comments are skipped. Extra columns (weights) are
+// ignored, matching internal/graph's edge-list reader.
+func ParseEdges(r io.Reader) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want 'src dst', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad src %q", line, fields[0])
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad dst %q", line, fields[1])
+		}
+		edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := s.lookup(name)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
+	edges, err := ParseEdges(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing edges: %v", err)
+		return
+	}
+	if len(edges) == 0 {
+		// Empty batches are detector-level no-ops; don't burn a queue
+		// slot on one.
+		writeJSON(w, http.StatusOK, map[string]any{"applied": false, "edges": 0})
+		return
+	}
+	job := &ingestJob{edges: edges, done: make(chan struct{})}
+	if err := g.enqueue(job); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "0" {
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued": true, "edges": len(edges), "pending": len(g.queue),
+		})
+		return
+	}
+	select {
+	case <-job.done:
+		if job.err != nil {
+			writeError(w, http.StatusBadRequest, "ingest: %v", job.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, g.stats())
+	case <-r.Context().Done():
+		// Client gone; the batch still applies in order. Nothing to
+		// write — the connection is dead.
+	}
+}
+
+func (s *Server) noteQuery(g *graphState, start time.Time) {
+	g.queryDur.Observe(time.Since(start).Seconds())
+	s.cfg.Obs.Metrics.Counter("sbpd_queries_total", "point queries answered",
+		obs.L("graph", g.name)).Inc()
+}
+
+// snapshotOr404 loads the graph's partition snapshot, writing the
+// conventional error when the graph is unknown or has no partition
+// yet.
+func (s *Server) snapshotOr404(w http.ResponseWriter, name string) (*graphState, *stream.Snapshot) {
+	g, err := s.lookup(name)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return nil, nil
+	}
+	snap := g.det.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusConflict, "graph %q has no partition yet (no batches ingested)", name)
+		return nil, nil
+	}
+	return g, snap
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g, snap := s.snapshotOr404(w, r.PathValue("name"))
+	if snap == nil {
+		return
+	}
+	v, err := strconv.Atoi(r.PathValue("vertex"))
+	if err != nil || v < 0 {
+		writeError(w, http.StatusBadRequest, "bad vertex id %q", r.PathValue("vertex"))
+		return
+	}
+	if v >= snap.Vertices {
+		writeError(w, http.StatusNotFound, "vertex %d not seen (stream has %d vertices)", v, snap.Vertices)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": g.name, "vertex": v,
+		"community": snap.Assignment[v], "batch": snap.Batches,
+	})
+	s.noteQuery(g, start)
+}
+
+func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g, snap := s.snapshotOr404(w, r.PathValue("name"))
+	if snap == nil {
+		return
+	}
+	c, err := strconv.Atoi(r.PathValue("community"))
+	if err != nil || c < 0 {
+		writeError(w, http.StatusBadRequest, "bad community id %q", r.PathValue("community"))
+		return
+	}
+	var members []int
+	for v, b := range snap.Assignment {
+		if int(b) == c {
+			members = append(members, v)
+		}
+	}
+	if len(members) == 0 {
+		writeError(w, http.StatusNotFound, "community %d is empty or unknown", c)
+		return
+	}
+	out := map[string]any{
+		"graph": g.name, "community": c, "size": len(members), "batch": snap.Batches,
+	}
+	if r.URL.Query().Get("members") != "0" {
+		out["members"] = members
+	}
+	writeJSON(w, http.StatusOK, out)
+	s.noteQuery(g, start)
+}
+
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g, snap := s.snapshotOr404(w, r.PathValue("name"))
+	if snap == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	for v, c := range snap.Assignment {
+		fmt.Fprintf(bw, "%d\t%d\n", v, c)
+	}
+	_ = bw.Flush()
+	s.noteQuery(g, start)
+}

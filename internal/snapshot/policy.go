@@ -117,6 +117,68 @@ func (p Policy) LoadSearch() (*SearchState, error) {
 	return DecodeSearch(payload)
 }
 
+// StreamPath is the checkpoint file of one named streaming graph.
+// Names are restricted by the caller (cmd/sbpd validates registration
+// names against [A-Za-z0-9._-]) so they embed safely in a filename.
+func (p Policy) StreamPath(name string) string {
+	return filepath.Join(p.Dir, "stream-"+name+".ckpt")
+}
+
+// WriteStream atomically replaces the named streaming-graph checkpoint.
+func (p Policy) WriteStream(name string, st *StreamState) error {
+	if !p.Enabled() {
+		return nil
+	}
+	return p.commit(p.StreamPath(name), st.Encode())
+}
+
+// LoadStream reads and decodes one streaming-graph checkpoint. A
+// missing file surfaces as the fs error; damage as the typed snapshot
+// errors.
+func (p Policy) LoadStream(name string) (*StreamState, error) {
+	payload, err := ReadFile(p.StreamPath(name))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStream(payload)
+}
+
+// RemoveStream deletes the named streaming-graph checkpoint. Missing
+// files are not an error — deregistering a graph that never
+// checkpointed must succeed.
+func (p Policy) RemoveStream(name string) error {
+	if !p.Enabled() {
+		return nil
+	}
+	err := os.Remove(p.StreamPath(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// StreamNames lists the graph names with a stream checkpoint file in
+// Dir, sorted. Files are NOT validated here: a damaged checkpoint must
+// surface as a loud LoadStream error at resume, not silently drop a
+// graph from the listing.
+func (p Policy) StreamNames() []string {
+	matches, err := filepath.Glob(filepath.Join(p.Dir, "stream-*.ckpt"))
+	if err != nil || len(matches) == 0 {
+		return nil
+	}
+	var names []string
+	for _, m := range matches {
+		base := filepath.Base(m)
+		name := base[len("stream-") : len(base)-len(".ckpt")]
+		if name == "" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // WriteRank durably writes one rank's sweep-boundary checkpoint and
 // prunes generations beyond the retention bound.
 func (p Policy) WriteRank(st *RankState) error {

@@ -1,6 +1,6 @@
 package snapshot
 
-// Typed checkpoint payloads. Two kinds exist:
+// Typed checkpoint payloads. Three kinds exist:
 //
 //   - SearchState: the complete single-node SBP search — golden-section
 //     bracket, engine configuration (with RESOLVED worker counts, so a
@@ -12,14 +12,20 @@ package snapshot
 //     boundary — the globally agreed membership, the rank's private RNG
 //     position and accumulators, and the cluster geometry needed to
 //     refuse a resume into a differently shaped cluster.
+//   - StreamState: one streaming detector (internal/stream) at a batch
+//     boundary — the full edge history, the fitted partition, the
+//     detector's RNG position and the resolved streaming configuration,
+//     everything a restarted process needs to continue the stream
+//     bit-identically to one that was never stopped.
 //
-// Both encode with the explicit little-endian field layout of codec.go:
+// All encode with the explicit little-endian field layout of codec.go:
 // a kind tag followed by fixed-width fields and length-prefixed slices.
 // No gob, no reflection — the format is stable and diffable.
 
 const (
 	kindSearch uint8 = 1
 	kindRank   uint8 = 2
+	kindStream uint8 = 3
 )
 
 // BracketEntry is one endpoint of the golden-section search. The
@@ -195,7 +201,7 @@ func encodeEntry(e *enc, be *BracketEntry) {
 func DecodeSearch(payload []byte) (*SearchState, error) {
 	d := &dec{b: payload}
 	if k := d.u8(); d.err == nil && k != kindSearch {
-		if k == kindRank {
+		if k == kindRank || k == kindStream {
 			return nil, ErrKind
 		}
 		return nil, ErrCorrupt
@@ -298,7 +304,7 @@ func (s *RankState) Encode() []byte {
 func DecodeRank(payload []byte) (*RankState, error) {
 	d := &dec{b: payload}
 	if k := d.u8(); d.err == nil && k != kindRank {
-		if k == kindSearch {
+		if k == kindSearch || k == kindStream {
 			return nil, ErrKind
 		}
 		return nil, ErrCorrupt

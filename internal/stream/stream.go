@@ -10,18 +10,47 @@
 // from-scratch search. The refinement uses any of the paper's MCMC
 // engines, so the streaming path benefits from H-SBP's parallel phase
 // exactly as the static path does.
+//
+// # Concurrency
+//
+// A Detector is safe for concurrent use by one writer and any number
+// of readers: Ingest calls are serialized internally, and the fitted
+// partition is published as an immutable Snapshot behind an atomic
+// pointer. Readers (Snapshot, Assignment, Model, the count accessors)
+// never block on an in-flight Ingest and never observe torn state —
+// they see the partition as of the last completed batch. This is the
+// contract cmd/sbpd's query path is built on.
 package stream
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockmodel"
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/merge"
 	"repro/internal/rng"
+	"repro/internal/sample"
 	"repro/internal/sbp"
+	"repro/internal/snapshot"
 )
+
+// ErrEmpty reports an operation that needs at least one ingested edge
+// on a detector that has none — e.g. a refinement requested before any
+// batch arrived. Ingesting an empty batch is NOT an error (it is a
+// no-op); this guard exists so no code path can ever hand a 0-vertex
+// graph to a full SBP search.
+var ErrEmpty = errors.New("stream: no edges ingested")
+
+// defaultSampleMinVertices is the floor below which SamBaS sampling is
+// skipped when Config.SampleMinVertices is unset: on tiny graphs the
+// sampled subgraph degenerates (a handful of vertices) and a direct
+// search is both cheaper and better.
+const defaultSampleMinVertices = 100
 
 // Config tunes the incremental refinement.
 type Config struct {
@@ -37,8 +66,23 @@ type Config struct {
 
 	// FullSearchPeriod forces a full from-scratch SBP run every k-th
 	// batch (0 = never): the guard against drift accumulating across
-	// many increments.
+	// many increments. Empty batches are no-ops and do not count.
 	FullSearchPeriod int
+
+	// Sample, when enabled (Fraction > 0), runs full searches through
+	// the SamBaS pipeline (internal/sample): detect on a sampled
+	// subgraph, extend, fine-tune. This is the fast path for large
+	// first-time loads — the first batch of a streaming graph is a full
+	// search from C = V, exactly the regime sampling collapses — and it
+	// applies to periodic and escalation full searches the same way, so
+	// an offline replay at the same config stays bit-identical.
+	Sample sample.Options
+
+	// SampleMinVertices only applies Sample when the graph has at least
+	// this many vertices (<= 0 means a built-in floor of 100). Warm
+	// increments are unaffected — sampling only ever gates full
+	// searches.
+	SampleMinVertices int
 
 	// Seed drives the deterministic RNG tree.
 	Seed uint64
@@ -57,88 +101,218 @@ func DefaultConfig() Config {
 	}
 }
 
+// Snapshot is an immutable view of the detector's partition as of one
+// completed batch. Snapshots are shared between concurrent readers and
+// are never mutated after publication — treat every field, including
+// the slices and the model, as read-only. Copy Assignment before
+// modifying it.
+type Snapshot struct {
+	// Assignment[v] is the community of vertex v. Read-only.
+	Assignment []int32
+
+	// Blocks is the number of non-empty communities.
+	Blocks int
+
+	// Vertices and Edges are the stream totals at this batch boundary.
+	Vertices, Edges int
+
+	// Batches counts the non-empty batches ingested so far.
+	Batches int
+
+	// FullSearches counts the from-scratch searches run (first batch,
+	// FullSearchPeriod refreshes and degenerate-collapse escalations).
+	FullSearches int
+
+	// Escalations counts the warm increments whose refinement collapsed
+	// to <= 1 block and escalated to a full search.
+	Escalations int
+
+	// MDL is the description length of the fitted model.
+	MDL float64
+
+	// Model is the fitted blockmodel behind Assignment. Read-only.
+	Model *blockmodel.Blockmodel
+}
+
 // Detector holds the evolving graph and partition.
 type Detector struct {
-	cfg     Config
+	cfg Config
+
+	// mu serializes Ingest (and Checkpoint, which must observe a batch
+	// boundary). Readers never take it — they load snap.
+	mu      sync.Mutex
 	rn      *rng.RNG
 	edges   []graph.Edge
 	n       int // vertices seen so far (max id + 1)
-	assign  []int32
-	blocks  int
 	batches int
+	fulls   int
+	escs    int
+	resumes int
 
-	// Current fitted state (nil until the first batch).
-	model *blockmodel.Blockmodel
+	// snap is the atomically published partition of the last completed
+	// batch; nil until the first non-empty batch lands.
+	snap atomic.Pointer[Snapshot]
 }
 
-// NewDetector returns an empty detector.
+// NewDetector returns an empty detector. Worker counts in cfg are
+// resolved immediately (<= 0 becomes GOMAXPROCS), so a checkpoint of
+// this detector replays the identical RNG stream layout on a machine
+// with a different core count.
 func NewDetector(cfg Config) *Detector {
+	if cfg.MCMC.Workers <= 0 {
+		cfg.MCMC.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Merge.Workers <= 0 {
+		cfg.Merge.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Detector{cfg: cfg, rn: rng.New(cfg.Seed)}
 }
 
-// NumVertices returns the number of vertices seen so far.
-func (d *Detector) NumVertices() int { return d.n }
+// Snapshot returns the immutable partition view of the last completed
+// batch, or nil before the first non-empty batch. Safe to call
+// concurrently with Ingest; the returned value must be treated as
+// read-only.
+func (d *Detector) Snapshot() *Snapshot { return d.snap.Load() }
 
-// NumEdges returns the number of edges ingested so far.
-func (d *Detector) NumEdges() int { return len(d.edges) }
+// NumVertices returns the number of vertices seen as of the last
+// completed batch.
+func (d *Detector) NumVertices() int {
+	if s := d.snap.Load(); s != nil {
+		return s.Vertices
+	}
+	return 0
+}
 
-// Assignment returns the current community of every seen vertex. The
-// returned slice is owned by the detector.
-func (d *Detector) Assignment() []int32 { return d.assign }
+// NumEdges returns the number of edges ingested as of the last
+// completed batch.
+func (d *Detector) NumEdges() int {
+	if s := d.snap.Load(); s != nil {
+		return s.Edges
+	}
+	return 0
+}
+
+// Assignment returns a copy of the current community of every seen
+// vertex (nil before the first batch). Safe to call concurrently with
+// Ingest; the caller owns the returned slice.
+func (d *Detector) Assignment() []int32 {
+	s := d.snap.Load()
+	if s == nil {
+		return nil
+	}
+	return append([]int32(nil), s.Assignment...)
+}
 
 // NumCommunities returns the current community count.
-func (d *Detector) NumCommunities() int { return d.blocks }
+func (d *Detector) NumCommunities() int {
+	if s := d.snap.Load(); s != nil {
+		return s.Blocks
+	}
+	return 0
+}
 
 // Model returns the current fitted blockmodel (nil before any batch).
-func (d *Detector) Model() *blockmodel.Blockmodel { return d.model }
+// The model is immutable once published — treat it as read-only.
+func (d *Detector) Model() *blockmodel.Blockmodel {
+	if s := d.snap.Load(); s != nil {
+		return s.Model
+	}
+	return nil
+}
+
+// publish installs the partition of a just-completed batch. bm must
+// never be mutated afterwards.
+func (d *Detector) publish(bm *blockmodel.Blockmodel) {
+	d.snap.Store(&Snapshot{
+		Assignment:   bm.Assignment,
+		Blocks:       bm.NumNonEmptyBlocks(),
+		Vertices:     d.n,
+		Edges:        len(d.edges),
+		Batches:      d.batches,
+		FullSearches: d.fulls,
+		Escalations:  d.escs,
+		MDL:          bm.MDL(),
+		Model:        bm,
+	})
+}
+
+// fullSearchOptions builds the options of a from-scratch search at the
+// current stream position, consuming one master-RNG draw for its seed.
+func (d *Detector) fullSearchOptions() sbp.Options {
+	opts := sbp.DefaultOptions(d.cfg.Algorithm)
+	opts.MCMC = d.cfg.MCMC
+	opts.Merge = d.cfg.Merge
+	opts.Seed = d.rn.Uint64()
+	if d.cfg.Sample.Enabled() {
+		floor := d.cfg.SampleMinVertices
+		if floor <= 0 {
+			floor = defaultSampleMinVertices
+		}
+		if d.n >= floor {
+			opts.Sample = d.cfg.Sample
+		}
+	}
+	return opts
+}
 
 // Ingest adds a batch of edges and refreshes the partition. Vertex ids
 // may exceed anything seen before; the id space grows to cover them.
+// An empty batch is always a no-op: it consumes no RNG, counts no
+// batch, and never reaches the solver. Ingest calls are serialized;
+// readers observe the previous snapshot until the new one is published.
 func (d *Detector) Ingest(batch []graph.Edge) error {
-	if len(batch) == 0 && d.model != nil {
+	if len(batch) == 0 {
 		return nil
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	n := d.n
 	for _, e := range batch {
 		if e.Src < 0 || e.Dst < 0 {
 			return fmt.Errorf("stream: negative vertex id in edge (%d,%d)", e.Src, e.Dst)
 		}
-		if int(e.Src) >= d.n {
-			d.n = int(e.Src) + 1
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
 		}
-		if int(e.Dst) >= d.n {
-			d.n = int(e.Dst) + 1
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
 		}
 	}
+	prevSnap := d.snap.Load()
+	d.n = n
 	d.edges = append(d.edges, batch...)
 	d.batches++
 
+	if d.n == 0 {
+		// Unreachable — a non-empty batch implies at least one vertex —
+		// but kept as a hard guard: a 0-vertex graph must never reach
+		// sbp.Run.
+		return ErrEmpty
+	}
 	g, err := graph.New(d.n, d.edges)
 	if err != nil {
 		return err
 	}
 
 	// Periodic (or first-batch) full search.
-	full := d.model == nil
+	full := prevSnap == nil
 	if d.cfg.FullSearchPeriod > 0 && d.batches%d.cfg.FullSearchPeriod == 0 {
 		full = true
 	}
 	if full {
-		opts := sbp.DefaultOptions(d.cfg.Algorithm)
-		opts.MCMC = d.cfg.MCMC
-		opts.Merge = d.cfg.Merge
-		opts.Seed = d.rn.Uint64()
-		res := sbp.Run(g, opts)
-		d.model = res.Best
-		d.assign = d.model.Assignment
-		d.blocks = d.model.NumNonEmptyBlocks()
+		d.fulls++
+		res := sbp.Run(g, d.fullSearchOptions())
+		d.publish(res.Best)
 		return nil
 	}
 
 	// Warm start: carry forward known assignments, give new vertices
 	// fresh singleton blocks.
-	prev := d.assign
+	prev := prevSnap.Assignment
+	prevBlocks := prevSnap.Model.C
 	assign := make([]int32, d.n)
-	nextBlock := int32(d.blocks)
+	nextBlock := int32(prevBlocks)
 	for v := 0; v < d.n; v++ {
 		if v < len(prev) {
 			assign[v] = prev[v]
@@ -156,7 +330,7 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	// refine. Merging down to the previous block count is the natural
 	// target; the MCMC phase may empty blocks if the stream split or
 	// dissolved a community.
-	newBlocks := int(nextBlock) - d.blocks
+	newBlocks := int(nextBlock) - prevBlocks
 	if newBlocks > 0 && bm.C > 1 {
 		merge.Phase(bm, newBlocks, d.cfg.Merge, d.rn)
 	}
@@ -169,16 +343,140 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	// structure is degenerate, escalate to a full search — the new
 	// edges may well have created detectable communities.
 	if bm.NumNonEmptyBlocks() <= 1 {
-		opts := sbp.DefaultOptions(d.cfg.Algorithm)
-		opts.MCMC = d.cfg.MCMC
-		opts.Merge = d.cfg.Merge
-		opts.Seed = d.rn.Uint64()
-		res := sbp.Run(g, opts)
+		d.escs++
+		d.fulls++
+		res := sbp.Run(g, d.fullSearchOptions())
 		bm = res.Best
 	}
 
-	d.model = bm
-	d.assign = bm.Assignment
-	d.blocks = bm.NumNonEmptyBlocks()
+	d.publish(bm)
 	return nil
+}
+
+// Checkpoint captures the detector at the current batch boundary as a
+// durable snapshot payload (see internal/snapshot). Safe to call
+// concurrently with readers; it serializes against Ingest, so the
+// state is always a clean boundary. meta is caller-opaque service
+// metadata round-tripped through Restore (nil is fine).
+func (d *Detector) Checkpoint(meta []byte) (*snapshot.StreamState, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	rngState, err := d.rn.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("stream: marshal rng: %w", err)
+	}
+	st := &snapshot.StreamState{
+		Seed:              d.cfg.Seed,
+		Algorithm:         int32(d.cfg.Algorithm),
+		Beta:              d.cfg.MCMC.Beta,
+		Threshold:         d.cfg.MCMC.Threshold,
+		MaxSweeps:         int32(d.cfg.MCMC.MaxSweeps),
+		HybridFraction:    d.cfg.MCMC.HybridFraction,
+		MCMCWorkers:       int32(d.cfg.MCMC.Workers),
+		AllowEmptyBlocks:  d.cfg.MCMC.AllowEmptyBlocks,
+		MCMCBatches:       int32(d.cfg.MCMC.Batches),
+		Partition:         int32(d.cfg.MCMC.Partition),
+		MergeCandidates:   int32(d.cfg.Merge.Candidates),
+		MergeWorkers:      int32(d.cfg.Merge.Workers),
+		FullSearchPeriod:  int32(d.cfg.FullSearchPeriod),
+		SampleKind:        int32(d.cfg.Sample.Kind),
+		SampleFraction:    d.cfg.Sample.Fraction,
+		SampleSeed:        d.cfg.Sample.Seed,
+		SampleMinVertices: int32(d.cfg.SampleMinVertices),
+		NumVertices:       int64(d.n),
+		IngestedBatches:   int32(d.batches),
+		FullSearches:      int32(d.fulls),
+		Escalations:       int32(d.escs),
+		ResumeCount:       int32(d.resumes),
+		RNG:               rngState,
+		Meta:              meta,
+	}
+	if s := d.snap.Load(); s != nil {
+		st.HasModel = true
+		st.ModelC = int32(s.Model.C)
+		st.Blocks = int32(s.Blocks)
+		st.MDL = s.MDL
+		st.Assignment = append([]int32(nil), s.Assignment...)
+	}
+	st.Edges = make([]int32, 0, 2*len(d.edges))
+	for _, e := range d.edges {
+		st.Edges = append(st.Edges, e.Src, e.Dst)
+	}
+	return st, nil
+}
+
+// Restore rebuilds a detector from a checkpointed StreamState. The
+// configuration is taken entirely from the state (worker counts were
+// resolved when the checkpoint was written), the fitted model is
+// rebuilt from the edge history and assignment, and the rebuilt MDL
+// must match the stored MDL bit-for-bit — a mismatch is corruption and
+// fails the restore. The restored detector continues the stream
+// bit-identically to one that was never stopped.
+func Restore(st *snapshot.StreamState) (*Detector, error) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = mcmc.Algorithm(st.Algorithm)
+	cfg.MCMC.Beta = st.Beta
+	cfg.MCMC.Threshold = st.Threshold
+	cfg.MCMC.MaxSweeps = int(st.MaxSweeps)
+	cfg.MCMC.HybridFraction = st.HybridFraction
+	cfg.MCMC.Workers = int(st.MCMCWorkers)
+	cfg.MCMC.AllowEmptyBlocks = st.AllowEmptyBlocks
+	cfg.MCMC.Batches = int(st.MCMCBatches)
+	cfg.MCMC.Partition = mcmc.Partition(st.Partition)
+	cfg.Merge.Candidates = int(st.MergeCandidates)
+	cfg.Merge.Workers = int(st.MergeWorkers)
+	cfg.FullSearchPeriod = int(st.FullSearchPeriod)
+	cfg.Sample = sample.Options{
+		Kind:     sample.Kind(st.SampleKind),
+		Fraction: st.SampleFraction,
+		Seed:     st.SampleSeed,
+	}
+	cfg.SampleMinVertices = int(st.SampleMinVertices)
+	cfg.Seed = st.Seed
+
+	d := NewDetector(cfg)
+	if err := d.rn.UnmarshalBinary(st.RNG); err != nil {
+		return nil, fmt.Errorf("stream: restore rng: %w", err)
+	}
+	if len(st.Edges)%2 != 0 {
+		return nil, fmt.Errorf("stream: restore: odd interleaved edge list length %d", len(st.Edges))
+	}
+	d.n = int(st.NumVertices)
+	d.batches = int(st.IngestedBatches)
+	d.fulls = int(st.FullSearches)
+	d.escs = int(st.Escalations)
+	d.resumes = int(st.ResumeCount) + 1
+	d.edges = make([]graph.Edge, 0, len(st.Edges)/2)
+	for i := 0; i+1 < len(st.Edges); i += 2 {
+		d.edges = append(d.edges, graph.Edge{Src: st.Edges[i], Dst: st.Edges[i+1]})
+	}
+
+	if !st.HasModel {
+		if len(d.edges) != 0 || d.n != 0 {
+			return nil, fmt.Errorf("stream: restore: %d edges but no fitted model", len(d.edges))
+		}
+		return d, nil
+	}
+	g, err := graph.New(d.n, d.edges)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restore graph: %w", err)
+	}
+	bm, err := blockmodel.FromCheckpoint(g, st.Assignment, int(st.ModelC), st.MDL, cfg.MCMC.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restore model: %w", err)
+	}
+	d.publish(bm)
+	if got := d.snap.Load().Blocks; got != int(st.Blocks) {
+		return nil, fmt.Errorf("stream: restore: %d non-empty blocks, checkpoint says %d", got, st.Blocks)
+	}
+	return d, nil
+}
+
+// Resumes reports how many times this detector's stream has been
+// restored from a checkpoint (0 for a fresh detector).
+func (d *Detector) Resumes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.resumes
 }

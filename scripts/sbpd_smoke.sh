@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cmd/sbpd, the streaming community-detection
+# service: compute an offline reference by replaying two edge batches
+# through a bare stream.Detector (sbpd -offline), then serve the same
+# batches over HTTP with a SIGTERM + -resume cycle in between, and
+# assert the daemon's answers are bit-identical to the offline run.
+# Used by CI; runnable locally with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; kill "${pid:-0}" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/sbpd" ./cmd/sbpd
+
+# A small Table-1-shaped graph, streamed as two batches.
+"$tmp/gengraph" -vertices 1000 -communities 8 -min-degree 3 -max-degree 40 \
+  -seed 7 -out "$tmp/graph.tsv"
+grep -v '^[#%]' "$tmp/graph.tsv" >"$tmp/edges.tsv"
+total=$(wc -l <"$tmp/edges.tsv")
+half=$((total / 2))
+head -n "$half" "$tmp/edges.tsv" >"$tmp/batch1.tsv"
+tail -n +"$((half + 1))" "$tmp/edges.tsv" >"$tmp/batch2.tsv"
+
+cat >"$tmp/config.json" <<'JSON'
+{"algorithm": "hsbp", "seed": 11, "workers": 2}
+JSON
+
+# Offline reference: same config mapping, same batch order, no HTTP.
+"$tmp/sbpd" -offline -graph-config "$tmp/config.json" \
+  "$tmp/batch1.tsv" "$tmp/batch2.tsv" >"$tmp/offline.tsv" 2>"$tmp/offline.log"
+[ -s "$tmp/offline.tsv" ] || { echo "FAIL: offline replay produced no assignment"; cat "$tmp/offline.log"; exit 1; }
+
+start_daemon() { # args: extra flags...
+  "$tmp/sbpd" -addr 127.0.0.1:0 -data "$tmp/data" "$@" >"$tmp/sbpd.log" 2>&1 &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' "$tmp/sbpd.log" | head -1)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: sbpd died at startup"; cat "$tmp/sbpd.log"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "FAIL: sbpd never reported its address"; cat "$tmp/sbpd.log"; exit 1; }
+}
+
+stop_daemon() { # graceful SIGTERM: drain + checkpoint + clean exit
+  kill -TERM "$pid"
+  wait "$pid" || { echo "FAIL: sbpd exited non-zero on SIGTERM"; cat "$tmp/sbpd.log"; exit 1; }
+}
+
+# Leg 1: register the graph, ingest the first batch, SIGTERM.
+start_daemon
+curl -sf -X POST "http://$addr/graphs/t1" --data-binary @"$tmp/config.json" >/dev/null \
+  || { echo "FAIL: register"; cat "$tmp/sbpd.log"; exit 1; }
+curl -sf -X POST "http://$addr/graphs/t1/edges" --data-binary @"$tmp/batch1.tsv" >/dev/null \
+  || { echo "FAIL: ingest batch 1"; cat "$tmp/sbpd.log"; exit 1; }
+stop_daemon
+[ -f "$tmp/data/stream-t1.ckpt" ] || { echo "FAIL: no checkpoint after SIGTERM"; ls "$tmp/data"; exit 1; }
+
+# Leg 2: resume, verify the graph survived, ingest the second batch.
+start_daemon -resume
+stats="$(curl -sf "http://$addr/graphs/t1")" \
+  || { echo "FAIL: resumed graph missing"; cat "$tmp/sbpd.log"; exit 1; }
+echo "$stats" | grep -q '"batches":1' \
+  || { echo "FAIL: resumed stats lost the first batch: $stats"; exit 1; }
+echo "$stats" | grep -q '"resumes":1' \
+  || { echo "FAIL: resumed stats did not count the resume: $stats"; exit 1; }
+curl -sf -X POST "http://$addr/graphs/t1/edges" --data-binary @"$tmp/batch2.tsv" >/dev/null \
+  || { echo "FAIL: ingest batch 2 after resume"; cat "$tmp/sbpd.log"; exit 1; }
+
+# The served assignment must equal the offline replay bit-for-bit,
+# across the SIGTERM/resume boundary.
+curl -sf "http://$addr/graphs/t1/assignment" >"$tmp/served.tsv"
+if ! diff -q "$tmp/offline.tsv" "$tmp/served.tsv" >/dev/null; then
+  echo "FAIL: served assignment differs from the offline replay"
+  diff "$tmp/offline.tsv" "$tmp/served.tsv" | head -20
+  exit 1
+fi
+
+# Point queries agree with the served assignment.
+want="$(awk 'NR==43 {print $2}' "$tmp/served.tsv")"
+curl -sf "http://$addr/graphs/t1/vertices/42" | grep -q "\"community\":$want" \
+  || { echo "FAIL: vertex point query disagrees with assignment"; exit 1; }
+
+# Service metrics are exposed on the API address.
+curl -sf "http://$addr/metrics" | grep -q 'sbpd_ingest_batches_total{graph="t1"} 1' \
+  || { echo "FAIL: /metrics missing per-graph ingest counter"; exit 1; }
+
+stop_daemon
+communities="$(awk '{print $2}' "$tmp/served.tsv" | sort -un | wc -l)"
+echo "OK: served assignment matches offline replay across SIGTERM+resume ($total edges, $communities communities)"
