@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -52,7 +53,7 @@ func main() {
 		acceptWait  = flag.Duration("accept-wait", 30*time.Second, "how long to wait for peers to boot")
 		verbose     = flag.Bool("v", false, "log connection and phase progress to stderr")
 		obsAddr     = flag.String("obs", "", "serve this rank's live telemetry on this address: Prometheus /metrics (wire and sweep counters under this rank's label), /debug/vars, /debug/pprof")
-		tracePath   = flag.String("trace", "", "write this rank's structured JSONL trace events to this file")
+		tracePath   = flag.String("trace", "", "write this rank's structured JSONL trace events under this path; a directory gets trace-rank<N>.jsonl, a file path gets -rank<N> inserted, so all ranks may share one value")
 		ckptDir     = flag.String("checkpoint-dir", "", "write this rank's durable sweep-boundary checkpoints to this directory; SIGINT/SIGTERM then stops the whole cluster at an agreed boundary")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "sweep interval between periodic checkpoints (with -checkpoint-dir)")
 		ckptRetain  = flag.Int("checkpoint-retain", 0, "checkpoint generations kept per rank (0 = default)")
@@ -70,6 +71,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsbp:", err)
 		os.Exit(1)
 	}
+}
+
+// rankTracePath derives this rank's private trace file so concurrent
+// ranks sharing one -trace value never clobber each other: an existing
+// directory gets trace-rank<N>.jsonl inside it; any other path gets
+// -rank<N> inserted before the extension.
+func rankTracePath(path string, rank int) string {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return filepath.Join(path, fmt.Sprintf("trace-rank%d.jsonl", rank))
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-rank%d%s", strings.TrimSuffix(path, ext), rank, ext)
 }
 
 type rankArgs struct {
@@ -157,18 +170,20 @@ func run(a rankArgs) error {
 		logf("telemetry listening on http://%s/metrics", bound)
 	}
 	if a.tracePath != "" {
-		f, err := os.Create(a.tracePath)
+		path := rankTracePath(a.tracePath, a.rank)
+		sink, err := obs.NewFileSink(path)
 		if err != nil {
 			return err
 		}
-		sink := obs.NewJSONLSink(f)
 		telemetry.Tracer = obs.NewTracer(sink)
+		// Close flushes and syncs, so the stream survives a graceful
+		// stop (SIGTERM drains through RunRank and falls out here).
 		defer func() {
-			if err := sink.Err(); err != nil {
+			if err := sink.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "dsbp rank %d: trace sink: %v\n", a.rank, err)
 			}
-			f.Close()
 		}()
+		logf("tracing to %s", path)
 	}
 
 	// Every rank derives the same starting membership from the shared
@@ -204,6 +219,7 @@ func run(a rankArgs) error {
 		IOTimeout:  a.ioTimeout,
 		AcceptWait: a.acceptWait,
 		Seed:       a.seed,
+		Trace:      telemetry.TraceID(), // propose this rank's trace id
 		Obs:        telemetry,
 		Ctx:        ctx,
 	})
@@ -215,6 +231,21 @@ func run(a rankArgs) error {
 	// barrier has already quiesced the collectives), and after an error.
 	defer tr.Close()
 	logf("cluster up in %v (%d dial retries)", time.Since(start).Round(time.Millisecond), tr.DialRetries())
+
+	// Adopt the cluster's agreed trace identity (rank 0's proposal, or
+	// our own when rank 0 isn't tracing) before the first span is
+	// emitted, so every rank's stream shares one TraceID and span ids
+	// are rank-qualified — the keys obsctl merge joins the files on.
+	if telemetry.Tracer != nil {
+		ct := tr.ClusterTraceID()
+		if ct == "" {
+			ct = telemetry.TraceID()
+		}
+		if err := telemetry.Tracer.SetIdentity(ct, a.rank); err != nil {
+			return fmt.Errorf("trace identity: %w", err)
+		}
+		logf("trace %s origin %d", ct, a.rank)
+	}
 
 	cfg := dist.Config{
 		Ranks:          a.ranks,

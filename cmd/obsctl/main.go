@@ -1,0 +1,175 @@
+// obsctl inspects the JSONL trace streams written by sbp/dsbp/sbpd
+// (internal/obs). Three subcommands:
+//
+//	obsctl check trace.jsonl...            validate span nesting and balance
+//	obsctl merge -o run.jsonl rank*.jsonl  join per-rank streams of one run
+//	obsctl report [-json out.json] run.jsonl   phase breakdown, critical
+//	                                           path, utilization, outliers
+//
+// check exits 1 when any stream is malformed; merge refuses streams
+// whose headers carry different TraceIDs (they are different runs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = runCheck(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	case "report":
+		err = runReport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "obsctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  obsctl check <trace.jsonl>...             validate trace streams
+  obsctl merge -o <out.jsonl> <trace>...    merge per-rank streams of one run
+  obsctl report [-json <out.json>] <trace>  summarize a (merged) trace`)
+}
+
+func parseFile(path string) (*analyze.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := analyze.ParseJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return tr, nil
+}
+
+// runCheck validates each input independently and reports every
+// problem; any problem anywhere fails the command.
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress per-file OK lines")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("check: no trace files given")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		tr, err := parseFile(path)
+		if err != nil {
+			return err
+		}
+		probs := analyze.Check(tr)
+		if len(probs) == 0 {
+			if !*quiet {
+				fmt.Printf("%s: ok (trace %s, origin %d, %d events)\n",
+					path, tr.TraceID, tr.Origin, len(tr.Events))
+			}
+			continue
+		}
+		bad++
+		for _, p := range probs {
+			fmt.Printf("%s: %s\n", path, p)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d streams malformed", bad, fs.NArg())
+	}
+	return nil
+}
+
+// runMerge joins the inputs into one ordered stream on stdout or -o.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("merge: no trace files given")
+	}
+	traces := make([]*analyze.Trace, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		tr, err := parseFile(path)
+		if err != nil {
+			return err
+		}
+		if len(tr.Malformed) > 0 {
+			fmt.Fprintf(os.Stderr, "obsctl: warning: %s has %d malformed lines (skipped)\n",
+				path, len(tr.Malformed))
+		}
+		traces = append(traces, tr)
+	}
+	merged, err := analyze.Merge(traces)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := analyze.WriteJSONL(w, merged); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "merged %d streams, %d events, trace %s -> %s\n",
+			len(traces), len(merged.Events), merged.TraceID, *out)
+	}
+	return nil
+}
+
+// runReport prints the text summary and optionally the JSON form.
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "also write the machine-readable report here")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want exactly one (merged) trace file")
+	}
+	tr, err := parseFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(tr.Malformed) > 0 {
+		fmt.Fprintf(os.Stderr, "obsctl: warning: %d malformed lines skipped\n", len(tr.Malformed))
+	}
+	rep := analyze.BuildReport(tr)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

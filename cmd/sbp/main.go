@@ -109,17 +109,16 @@ func main() {
 		log.Printf("telemetry listening on http://%s/metrics (also /debug/vars, /debug/pprof)", bound)
 	}
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		sink, err := obs.NewFileSink(*tracePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sink := obs.NewJSONLSink(f)
 		telemetry.Tracer = obs.NewTracer(sink)
+		// Close flushes and syncs so the stream is complete on exit.
 		defer func() {
-			if err := sink.Err(); err != nil {
+			if err := sink.Close(); err != nil {
 				log.Printf("trace sink: %v", err)
 			}
-			f.Close()
 		}()
 	}
 

@@ -50,6 +50,8 @@ func main() {
 		dataDir      = flag.String("data", "", "checkpoint directory; empty disables durability")
 		resume       = flag.Bool("resume", false, "rebuild the graph registry from the checkpoints in -data before serving")
 		obsAddr      = flag.String("obs", "", "serve telemetry on a separate address (default: /metrics and /debug on -addr)")
+		tracePath    = flag.String("trace", "", "write structured JSONL trace events (per-graph batch/refinement spans, slow requests) to this file")
+		slowReq      = flag.Duration("slow-request", 0, "latency above which a request emits a slow_request trace event (0 = default 1s)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on queue drain + in-flight requests at shutdown")
 		queueDepth   = flag.Int("queue-depth", 0, "per-graph pending ingest batches before 429 (0 = default 64)")
 		maxBatch     = flag.Int64("max-batch-bytes", 0, "largest accepted ingest request body (0 = default 256 MiB)")
@@ -70,12 +72,24 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	telemetry := obs.Obs{Metrics: reg}
+	var traceSink *obs.FileSink
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceSink = sink
+		telemetry.Tracer = obs.NewTracer(sink)
+		log.Printf("tracing to %s (trace %s)", *tracePath, telemetry.TraceID())
+	}
 	srv, err := serve.New(serve.Config{
 		DataDir:       *dataDir,
 		Resume:        *resume,
-		Obs:           obs.Obs{Metrics: reg},
+		Obs:           telemetry,
 		QueueDepth:    *queueDepth,
 		MaxBatchBytes: *maxBatch,
+		SlowRequest:   *slowReq,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,6 +108,9 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("telemetry on http://%s/metrics", bound)
+		if traceSink != nil {
+			obsSrv.FlushOnShutdown(traceSink)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -133,6 +150,13 @@ func main() {
 	if obsSrv != nil {
 		if err := obsSrv.Shutdown(ctx); err != nil {
 			log.Printf("obs shutdown: %v", err)
+		}
+	}
+	if traceSink != nil {
+		// The SIGTERM drain ends here on every graceful path; Close
+		// flushes and syncs so the trace stream is complete on disk.
+		if err := traceSink.Close(); err != nil {
+			log.Printf("trace sink: %v", err)
 		}
 	}
 	if *dataDir != "" {

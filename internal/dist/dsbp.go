@@ -287,7 +287,8 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 	cProps := reg.Counter("dist_proposals_total", "move proposals evaluated per rank", rl)
 	cAccs := reg.Counter("dist_accepts_total", "move proposals accepted per rank", rl)
 	span := cfg.Obs.StartSpan("rank",
-		obs.F("rank", r), obs.F("ranks", ranks), obs.F("mode", mode.String()))
+		obs.F("rank", r), obs.F("ranks", ranks), obs.F("mode", mode.String()),
+		obs.F("trace", cfg.Obs.TraceID()))
 	defer func() {
 		if span != nil {
 			span.End(obs.F("sweeps", st.Sweeps), obs.F("mdl", st.FinalS),
@@ -433,11 +434,23 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 
 	for sweep := startSweep; sweep < cfg.MaxSweeps; sweep++ {
 		sweepProps, sweepAccs := st.Proposals, st.Accepts
+		// One span per sweep, with mcmc/comm/checkpoint child slices —
+		// the decomposition obsctl report aggregates. Every exit path
+		// below must close it (nil-safe when tracing is off).
+		sweepSpan := span.Child("sweep", obs.F("sweep", sweep))
+		endSweep := func(mdl float64, fields ...obs.Field) {
+			sweepSpan.End(append([]obs.Field{
+				obs.F("sweep", sweep), obs.F("mdl", mdl),
+				obs.F("proposals", st.Proposals-sweepProps),
+				obs.F("accepts", st.Accepts-sweepAccs),
+			}, fields...)...)
+		}
 		// Hybrid: rank 0 leads the serial pass over V*, then the
 		// resulting V* assignments travel with its segment gather
 		// below (V* moves overwrite the stale values everywhere).
 		var starMoves []int32 // flat (vertex, block) pairs from rank 0
 		if mode == ModeHybrid {
+			serialSpan := sweepSpan.Child("mcmc", obs.F("pass", "serial"))
 			if r == 0 {
 				for _, v := range vStar {
 					s := replica.ProposeVertexMove(int(v), replica.Assignment, rn)
@@ -457,8 +470,11 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 					}
 				}
 			}
+			serialSpan.End()
 			// Broadcast the V* moves (rank 0's list; empty elsewhere).
+			commSpan := sweepSpan.Child("comm", obs.F("op", "allgather_vstar"))
 			all := comm.AllGatherInt32(starMoves)
+			commSpan.End()
 			for i := 0; i+1 < len(all[0]); i += 2 {
 				v, s := all[0][i], all[0][i+1]
 				if r != 0 {
@@ -469,6 +485,7 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 
 		// Asynchronous pass over owned vertices against the stale
 		// replica; accepted moves go into the private segment only.
+		asyncSpan := sweepSpan.Child("mcmc", obs.F("pass", "async"))
 		segment := append([]int32(nil), replica.Assignment[lo:hi]...)
 		for v := lo; v < hi; v++ {
 			if mode == ModeHybrid && inStar[v] {
@@ -489,10 +506,13 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 				st.Accepts++
 			}
 		}
+		asyncSpan.End()
 
 		// Exchange segments; every rank assembles the same global
 		// membership and rebuilds its replica from it.
+		commSpan := sweepSpan.Child("comm", obs.F("op", "allgather_segments"))
 		segments := comm.AllGatherInt32(segment)
+		commSpan.End()
 		assembled := make([]int32, 0, n)
 		for peer := 0; peer < ranks; peer++ {
 			assembled = append(assembled, segments[peer]...)
@@ -509,18 +529,17 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 		// if any replica disagrees, turning silent divergence into a
 		// hard error.
 		local := replica.MDL()
+		commSpan = sweepSpan.Child("comm", obs.F("op", "allreduce_mdl"))
 		cur := comm.AllReduceFloat64(local, agreeOr)
+		commSpan.End()
 		if math.IsNaN(cur) && !math.IsNaN(local) {
+			endSweep(local, obs.F("diverged", true))
 			return st, fmt.Errorf("dist: rank %d replica diverged at sweep %d (local MDL %v)", r, sweep, local)
 		}
 		st.FinalS = cur
-		if span != nil {
-			span.Event("sweep", obs.F("sweep", sweep), obs.F("mdl", cur),
-				obs.F("proposals", st.Proposals-sweepProps),
-				obs.F("accepts", st.Accepts-sweepAccs))
-		}
 		if math.Abs(prev-cur) <= cfg.Threshold*math.Abs(cur) {
 			st.Converged = true
+			endSweep(cur, obs.F("converged", true))
 			break
 		}
 		prev = cur
@@ -537,16 +556,24 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 			if ctxCancelled(cfg.Ctx) {
 				stop = 1
 			}
+			commSpan = sweepSpan.Child("comm", obs.F("op", "allreduce_stop"))
 			stop = comm.AllReduceInt64(stop, maxInt64)
+			commSpan.End()
 			if stop != 0 {
+				ckptSpan := sweepSpan.Child("checkpoint", obs.F("boundary", boundary))
 				writeCkpt(boundary, cur)
+				ckptSpan.End()
 				st.Interrupted = true
+				endSweep(cur, obs.F("interrupted", true))
 				break
 			}
 			if cfg.Ckpt.Enabled() && cfg.Ckpt.Every > 0 && boundary%cfg.Ckpt.Every == 0 {
+				ckptSpan := sweepSpan.Child("checkpoint", obs.F("boundary", boundary))
 				writeCkpt(boundary, cur)
+				ckptSpan.End()
 			}
 		}
+		endSweep(cur)
 	}
 
 	copy(membership, replica.Assignment)

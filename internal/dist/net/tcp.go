@@ -39,10 +39,13 @@ import (
 const (
 	// magic identifies a DSBP cluster handshake, version-tagged so
 	// incompatible builds refuse to pair instead of misreading frames.
-	magic uint32 = 0xD5B7_0001
+	// v2 appended the trace-context frame to the handshake.
+	magic uint32 = 0xD5B7_0002
 	// maxFrame bounds a frame declaration; anything larger is a
 	// corrupted or hostile length prefix, not a real payload.
 	maxFrame = 1 << 30
+	// maxTraceCtx bounds the handshake's trace-context string.
+	maxTraceCtx = 64
 )
 
 // Config describes one rank's endpoint of a TCP cluster.
@@ -79,6 +82,13 @@ type Config struct {
 	// hits) in the metrics registry under this rank's label; the
 	// TrafficBytes/DialRetries accessors read the same counters.
 	Obs obs.Obs
+
+	// Trace is this rank's proposed trace id, carried in the handshake
+	// so all ranks of one cluster can share a trace. The cluster agrees
+	// on rank 0's proposal: after Dial, ClusterTraceID returns rank 0's
+	// id (every rank receives rank 0's inbound handshake; rank 0 keeps
+	// its own). Empty when tracing is disabled.
+	Trace string
 
 	// Ctx, when non-nil, aborts connection establishment promptly on
 	// cancellation: backoff sleeps return early and the accept loop is
@@ -125,9 +135,14 @@ type Transport struct {
 	frames    obs.Counter   // frames sent
 	retries   obs.Counter   // failed dial attempts
 	deadline  obs.Counter   // send/recv operations lost to an I/O deadline
+	trace     string        // agreed cluster trace id (rank 0's proposal)
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// ClusterTraceID returns the trace id the cluster agreed on during
+// Dial: rank 0's proposal, "" when rank 0 ran without tracing.
+func (t *Transport) ClusterTraceID() string { return t.trace }
 
 // Dial establishes rank cfg.Rank's endpoint: it listens on its own
 // address, dials every peer with retry/backoff, and waits for every
@@ -151,6 +166,13 @@ func Dial(cfg Config) (*Transport, error) {
 			return nil, fmt.Errorf("dist/net: rank %d listen %s: %w", cfg.Rank, cfg.Peers[cfg.Rank], err)
 		}
 	}
+	if len(cfg.Trace) > maxTraceCtx {
+		return nil, fmt.Errorf("dist/net: trace context %q exceeds %d bytes", cfg.Trace, maxTraceCtx)
+	}
+	ownTC, err := obs.ParseTraceContext(cfg.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("dist/net: %w", err)
+	}
 	t := &Transport{
 		rank:      cfg.Rank,
 		size:      n,
@@ -158,6 +180,11 @@ func Dial(cfg Config) (*Transport, error) {
 		ln:        ln,
 		out:       make([]stdnet.Conn, n),
 		in:        make([]stdnet.Conn, n),
+	}
+	if cfg.Rank == 0 {
+		// Rank 0's proposal is the cluster's trace id by definition;
+		// every other rank adopts it from rank 0's inbound handshake.
+		t.trace = ownTC.Trace
 	}
 	if reg := cfg.Obs.Metrics; reg != nil {
 		rank := obs.L("rank", strconv.Itoa(cfg.Rank))
@@ -217,7 +244,7 @@ func (t *Transport) acceptPeers(cfg Config) error {
 			return fmt.Errorf("dist/net: rank %d accept (%d/%d peers connected): %w",
 				t.rank, seen, t.size-1, err)
 		}
-		from, err := readHandshake(conn, t.size, deadline)
+		from, trace, err := readHandshake(conn, t.size, deadline)
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("dist/net: rank %d handshake: %w", t.rank, err)
@@ -225,6 +252,10 @@ func (t *Transport) acceptPeers(cfg Config) error {
 		if from == t.rank || t.in[from] != nil {
 			conn.Close()
 			return fmt.Errorf("dist/net: rank %d got duplicate connection from rank %d", t.rank, from)
+		}
+		if from == 0 {
+			// The cluster trace id is rank 0's proposal, delivered here.
+			t.trace = trace
 		}
 		t.in[from] = conn
 		seen++
@@ -280,7 +311,7 @@ func (t *Transport) dialPeers(cfg Config) error {
 		if tc, ok := conn.(*stdnet.TCPConn); ok {
 			tc.SetNoDelay(true) // collectives are latency-bound small frames
 		}
-		if err := writeHandshake(conn, t.size, t.rank, cfg.DialTimeout); err != nil {
+		if err := writeHandshake(conn, t.size, t.rank, cfg.Trace, cfg.DialTimeout); err != nil {
 			conn.Close()
 			return fmt.Errorf("dist/net: rank %d handshake to rank %d: %w", t.rank, peer, err)
 		}
@@ -306,37 +337,58 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// handshake layout: magic(4) | cluster size(4) | sender rank(4), big
-// endian like the frame length prefix.
-func writeHandshake(conn stdnet.Conn, size, rank int, timeout time.Duration) error {
-	var buf [12]byte
+// handshake layout: magic(4) | cluster size(4) | sender rank(4) |
+// trace length(2) | trace context bytes, big endian like the frame
+// length prefix. The trace frame carries the sender's proposed trace
+// id (obs.TraceContext encoding, empty when tracing is off) so all
+// ranks of one cluster end up in one trace.
+func writeHandshake(conn stdnet.Conn, size, rank int, trace string, timeout time.Duration) error {
+	buf := make([]byte, 14+len(trace))
 	binary.BigEndian.PutUint32(buf[0:], magic)
 	binary.BigEndian.PutUint32(buf[4:], uint32(size))
 	binary.BigEndian.PutUint32(buf[8:], uint32(rank))
+	binary.BigEndian.PutUint16(buf[12:], uint16(len(trace)))
+	copy(buf[14:], trace)
 	conn.SetWriteDeadline(time.Now().Add(timeout))
 	defer conn.SetWriteDeadline(time.Time{})
-	_, err := conn.Write(buf[:])
+	_, err := conn.Write(buf)
 	return err
 }
 
-func readHandshake(conn stdnet.Conn, size int, deadline time.Time) (int, error) {
-	var buf [12]byte
+func readHandshake(conn stdnet.Conn, size int, deadline time.Time) (int, string, error) {
+	var buf [14]byte
 	conn.SetReadDeadline(deadline)
 	defer conn.SetReadDeadline(time.Time{})
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if got := binary.BigEndian.Uint32(buf[0:]); got != magic {
-		return 0, fmt.Errorf("bad magic %#08x (version mismatch?)", got)
+		return 0, "", fmt.Errorf("bad magic %#08x (version mismatch?)", got)
 	}
 	if got := int(binary.BigEndian.Uint32(buf[4:])); got != size {
-		return 0, fmt.Errorf("peer believes cluster size is %d, ours is %d", got, size)
+		return 0, "", fmt.Errorf("peer believes cluster size is %d, ours is %d", got, size)
 	}
 	from := int(binary.BigEndian.Uint32(buf[8:]))
 	if from < 0 || from >= size {
-		return 0, fmt.Errorf("peer rank %d outside [0,%d)", from, size)
+		return 0, "", fmt.Errorf("peer rank %d outside [0,%d)", from, size)
 	}
-	return from, nil
+	traceLen := int(binary.BigEndian.Uint16(buf[12:]))
+	if traceLen > maxTraceCtx {
+		return 0, "", fmt.Errorf("trace context of %d bytes exceeds %d", traceLen, maxTraceCtx)
+	}
+	trace := ""
+	if traceLen > 0 {
+		tb := make([]byte, traceLen)
+		if _, err := io.ReadFull(conn, tb); err != nil {
+			return 0, "", err
+		}
+		tc, err := obs.ParseTraceContext(string(tb))
+		if err != nil {
+			return 0, "", fmt.Errorf("peer rank %d: %w", from, err)
+		}
+		trace = tc.Trace
+	}
+	return from, trace, nil
 }
 
 // Rank returns this endpoint's rank id.

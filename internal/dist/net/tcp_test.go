@@ -273,6 +273,49 @@ func TestTCPConfigValidation(t *testing.T) {
 	}
 }
 
+// TestTCPClusterTraceAgreement: every rank proposes its own trace id
+// in the handshake; after Dial all ranks must have adopted rank 0's.
+func TestTCPClusterTraceAgreement(t *testing.T) {
+	const ranks = 3
+	cfgs := loopbackCluster(t, ranks)
+	proposals := []string{"aaaa000000000000", "bbbb000000000000", "cccc000000000000"}
+	for r := range cfgs {
+		cfgs[r].Trace = proposals[r]
+	}
+	var mu sync.Mutex
+	agreed := make([]string, ranks)
+	var wg sync.WaitGroup
+	for r := range cfgs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := Dial(cfgs[r])
+			if err != nil {
+				t.Errorf("rank %d dial: %v", r, err)
+				return
+			}
+			defer tr.Close()
+			mu.Lock()
+			agreed[r] = tr.ClusterTraceID()
+			mu.Unlock()
+			dist.NewComm(tr).Barrier()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < ranks; r++ {
+		if agreed[r] != proposals[0] {
+			t.Errorf("rank %d agreed on %q, want rank 0's %q", r, agreed[r], proposals[0])
+		}
+	}
+
+	// A malformed proposal is rejected before any connection is made.
+	bad := loopbackCluster(t, 1)[0]
+	bad.Trace = "not hex!"
+	if _, err := Dial(bad); err == nil {
+		t.Error("malformed trace context accepted")
+	}
+}
+
 func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
 	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -288,7 +331,7 @@ func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
 		}
 		defer conn.Close()
 		// A handshake from a 5-rank cluster arrives at a 2-rank one.
-		done <- writeHandshake(conn, 5, 0, time.Second)
+		done <- writeHandshake(conn, 5, 0, "", time.Second)
 	}()
 	conn, err := stdnet.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -298,7 +341,7 @@ func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readHandshake(conn, 2, time.Now().Add(time.Second)); err == nil {
+	if _, _, err := readHandshake(conn, 2, time.Now().Add(time.Second)); err == nil {
 		t.Fatal("mismatched cluster size accepted")
 	}
 }

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDistObsBitIdentical runs the distributed phase inert and fully
+// traced at the same seed and requires bit-identical outcomes — the
+// per-sweep span tree must never touch the RNG streams or the wire
+// protocol.
+func TestDistObsBitIdentical(t *testing.T) {
+	for _, mode := range []Mode{ModeAsync, ModeHybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			bmPlain, _ := distModel(t, 7)
+			stPlain, err := RunMCMCPhase(bmPlain, mode, testCfg(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bmTraced, _ := distModel(t, 7)
+			cfg := testCfg(3)
+			sink := &obs.CollectorSink{}
+			cfg.Obs = obs.Obs{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(sink)}
+			stTraced, err := RunMCMCPhase(bmTraced, mode, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if stTraced.FinalS != stPlain.FinalS {
+				t.Errorf("MDL differs with tracing on: %.17g vs %.17g", stTraced.FinalS, stPlain.FinalS)
+			}
+			if stTraced.Sweeps != stPlain.Sweeps || stTraced.Converged != stPlain.Converged {
+				t.Errorf("trajectory differs with tracing on: %d/%v vs %d/%v",
+					stTraced.Sweeps, stTraced.Converged, stPlain.Sweeps, stPlain.Converged)
+			}
+			for v := range bmPlain.Assignment {
+				if bmTraced.Assignment[v] != bmPlain.Assignment[v] {
+					t.Fatalf("assignment differs at vertex %d with tracing on", v)
+				}
+			}
+
+			// The trace must carry the per-sweep decomposition.
+			names := map[string]int{}
+			for _, e := range sink.Events() {
+				if e.Kind == "begin" {
+					names[e.Name]++
+				}
+			}
+			for _, want := range []string{"rank", "sweep", "mcmc", "comm"} {
+				if names[want] == 0 {
+					t.Errorf("no %q spans in distributed trace: %v", want, names)
+				}
+			}
+			if names["sweep"] != 3*stPlain.Sweeps {
+				t.Errorf("%d sweep spans for %d sweeps on 3 ranks", names["sweep"], stPlain.Sweeps)
+			}
+		})
+	}
+}

@@ -156,7 +156,8 @@ func (sp *sweepProbe) finish(st *Stats, mdl float64) SweepRecord {
 		po.acceptRate.Set(float64(st.Accepts) / float64(st.Proposals))
 	}
 	po.imbalance.SetMax(sp.rec.Imbalance)
-	po.sweepDur.Observe(float64(time.Since(sp.start).Nanoseconds()))
+	durNS := time.Since(sp.start).Nanoseconds()
+	po.sweepDur.Observe(float64(durNS))
 	if sp.rec.Proposals > 0 {
 		var busy float64
 		for _, t := range sp.rec.WorkerNS {
@@ -169,7 +170,8 @@ func (sp *sweepProbe) finish(st *Stats, mdl float64) SweepRecord {
 			obs.F("sweep", sp.rec.Sweep), obs.F("mdl", mdl),
 			obs.F("proposals", sp.rec.Proposals), obs.F("accepts", sp.rec.Accepts),
 			obs.F("serial_ns", sp.rec.SerialNS), obs.F("rebuild_ns", sp.rec.RebuildNS),
-			obs.F("worker_ns", sp.rec.WorkerNS), obs.F("imbalance", sp.rec.Imbalance))
+			obs.F("worker_ns", sp.rec.WorkerNS), obs.F("imbalance", sp.rec.Imbalance),
+			obs.F("dur_ns", durNS))
 	}
 	return sp.rec
 }

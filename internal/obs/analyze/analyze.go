@@ -1,0 +1,329 @@
+// Package analyze parses, validates, merges and summarizes the JSONL
+// trace streams emitted by internal/obs. It is the engine behind
+// cmd/obsctl: check (well-formedness), merge (join per-rank streams of
+// one run into a single ordered trace) and report (phase breakdown,
+// critical path, worker utilization, slow-sweep outliers).
+//
+// The package re-renders events it parsed, so parsing is conservative:
+// field order is preserved, numbers are decoded as json.Number (trace
+// timestamps exceed 2^53 and would lose precision as float64), and a
+// truncated final line — a process killed mid-write — is reported, not
+// fatal.
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one parsed trace record. Fields stay an ordered slice so
+// merged output renders byte-stably.
+type Event struct {
+	TS     int64
+	Kind   string // "trace", "begin", "end", "event"
+	Span   int64
+	Parent int64
+	Name   string
+	DurNS  int64
+	Fields []Field
+
+	Line int // 1-based line number in the source stream
+}
+
+// Field is one structured key/value from an event, value still in its
+// JSON form (json.Number, string, bool, ...).
+type Field struct {
+	Key   string
+	Value any
+}
+
+// Get returns the named field's value and whether it was present.
+func (e *Event) Get(key string) (any, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// GetNumber returns the named field as a float64 (false if absent or
+// non-numeric).
+func (e *Event) GetNumber(key string) (float64, bool) {
+	v, ok := e.Get(key)
+	if !ok {
+		return 0, false
+	}
+	n, ok := v.(json.Number)
+	if !ok {
+		return 0, false
+	}
+	f, err := n.Float64()
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// GetString returns the named field as a string (false if absent or
+// not a string).
+func (e *Event) GetString(key string) (string, bool) {
+	v, ok := e.Get(key)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// Trace is one parsed stream: the events of a single process (or of a
+// whole merged run), plus the identity from its header event.
+type Trace struct {
+	TraceID string // from the "trace" header event, "" if absent
+	Origin  int    // origin rank from the header, 0 if absent
+	Events  []Event
+
+	// Malformed lines: non-JSON or missing envelope keys. A single
+	// truncated final line (SIGKILL mid-write) lands here rather than
+	// aborting the parse.
+	Malformed []MalformedLine
+}
+
+// MalformedLine records one unparseable line.
+type MalformedLine struct {
+	Line int
+	Err  string
+	Text string // prefix of the offending line, for diagnostics
+}
+
+// envelope keys; everything else on a line is a caller field.
+var envelopeKeys = map[string]bool{
+	"ts": true, "kind": true, "span": true, "parent": true,
+	"name": true, "dur_ns": true,
+}
+
+// ParseJSONL reads one trace stream. It never fails on malformed
+// content — bad lines are collected in Trace.Malformed — and only
+// returns an error for I/O failures.
+func ParseJSONL(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(strings.TrimSpace(string(raw))) == 0 {
+			continue
+		}
+		ev, err := parseLine(raw)
+		if err != nil {
+			text := string(raw)
+			if len(text) > 80 {
+				text = text[:80] + "..."
+			}
+			tr.Malformed = append(tr.Malformed, MalformedLine{Line: line, Err: err.Error(), Text: text})
+			continue
+		}
+		ev.Line = line
+		if ev.Kind == "trace" {
+			if id, ok := ev.GetString("trace"); ok {
+				tr.TraceID = id
+			}
+			if o, ok := ev.GetNumber("origin"); ok {
+				tr.Origin = int(o)
+			}
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}
+
+// parseLine decodes one JSONL record, preserving field order. Numbers
+// decode as json.Number: ts values are ~1.7e18 ns and do not survive a
+// float64 round trip.
+func parseLine(raw []byte) (Event, error) {
+	var ev Event
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.UseNumber()
+
+	tok, err := dec.Token()
+	if err != nil {
+		return ev, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return ev, fmt.Errorf("not a JSON object")
+	}
+	sawTS, sawKind := false, false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return ev, err
+		}
+		key := keyTok.(string)
+		var val any
+		if err := dec.Decode(&val); err != nil {
+			return ev, err
+		}
+		if !envelopeKeys[key] {
+			ev.Fields = append(ev.Fields, Field{Key: key, Value: val})
+			continue
+		}
+		switch key {
+		case "ts":
+			ev.TS, err = asInt64(val)
+			sawTS = err == nil
+		case "span":
+			ev.Span, err = asInt64(val)
+		case "parent":
+			ev.Parent, err = asInt64(val)
+		case "dur_ns":
+			ev.DurNS, err = asInt64(val)
+		case "kind":
+			s, ok := val.(string)
+			if !ok {
+				err = fmt.Errorf("kind is not a string")
+			}
+			ev.Kind, sawKind = s, ok
+		case "name":
+			s, ok := val.(string)
+			if !ok {
+				err = fmt.Errorf("name is not a string")
+			}
+			ev.Name = s
+		}
+		if err != nil {
+			return ev, fmt.Errorf("bad %q: %v", key, err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return ev, err
+	}
+	if !sawTS || !sawKind {
+		return ev, fmt.Errorf("missing ts or kind")
+	}
+	switch ev.Kind {
+	case "trace", "begin", "end", "event":
+	default:
+		return ev, fmt.Errorf("unknown kind %q", ev.Kind)
+	}
+	if (ev.Kind == "begin" || ev.Kind == "end") && ev.Span == 0 {
+		return ev, fmt.Errorf("%s record without span id", ev.Kind)
+	}
+	return ev, nil
+}
+
+func asInt64(v any) (int64, error) {
+	n, ok := v.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("not a number")
+	}
+	return n.Int64()
+}
+
+// AppendJSONL re-renders one event in the exact envelope order the obs
+// sinks write (ts, kind, span, parent, name, dur_ns, fields), so a
+// merged stream is parseable by the same tools that read the inputs.
+func AppendJSONL(buf []byte, e Event) []byte {
+	buf = append(buf, `{"ts":`...)
+	buf = appendInt(buf, e.TS)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind...)
+	buf = append(buf, '"')
+	if e.Span != 0 {
+		buf = append(buf, `,"span":`...)
+		buf = appendInt(buf, e.Span)
+	}
+	if e.Parent != 0 {
+		buf = append(buf, `,"parent":`...)
+		buf = appendInt(buf, e.Parent)
+	}
+	buf = append(buf, `,"name":`...)
+	buf = appendJSON(buf, e.Name)
+	// "end" records always carry dur_ns; point events (sweeps) may too.
+	if e.Kind == "end" || e.DurNS != 0 {
+		buf = append(buf, `,"dur_ns":`...)
+		buf = appendInt(buf, e.DurNS)
+	}
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, f.Value)
+	}
+	return append(buf, '}', '\n')
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	return append(buf, fmt.Sprintf("%d", v)...)
+}
+
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal("!" + err.Error())
+	}
+	return append(buf, b...)
+}
+
+// spanNode is the reconstructed tree node shared by report and check.
+type spanNode struct {
+	begin    *Event
+	end      *Event
+	children []*spanNode
+}
+
+// buildForest reconstructs the span forest of one trace. Events whose
+// parent is unknown become roots; the forest tolerates streams whose
+// spans never ended (crash) by leaving end nil.
+func buildForest(evs []Event) (roots []*spanNode, byID map[int64]*spanNode) {
+	byID = map[int64]*spanNode{}
+	order := []*spanNode{}
+	for i := range evs {
+		e := &evs[i]
+		switch e.Kind {
+		case "begin":
+			n := &spanNode{begin: e}
+			// A duplicate begin for the same id keeps the first node; the
+			// checker flags it separately.
+			if _, dup := byID[e.Span]; !dup {
+				byID[e.Span] = n
+				order = append(order, n)
+			}
+		case "end":
+			if n, ok := byID[e.Span]; ok && n.end == nil {
+				n.end = e
+			}
+		}
+	}
+	for _, n := range order {
+		if p, ok := byID[n.begin.Parent]; ok && n.begin.Parent != 0 {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots, byID
+}
+
+// sortEvents orders events by timestamp, breaking ties by origin rank
+// then original line number so merge output is deterministic.
+func sortEvents(evs []Event, originOf func(Event) int) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		oi, oj := originOf(evs[i]), originOf(evs[j])
+		if oi != oj {
+			return oi < oj
+		}
+		return evs[i].Line < evs[j].Line
+	})
+}

@@ -1,0 +1,329 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func parseFile(t *testing.T, path string) *Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ParseJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestParseFixtures pins the parser against the checked-in multi-rank
+// fixtures: identity, counts, and high-precision timestamps.
+func TestParseFixtures(t *testing.T) {
+	r0 := parseFile(t, "testdata/rank0.jsonl")
+	if r0.TraceID != "feedc0dedeadbeef" || r0.Origin != 0 {
+		t.Fatalf("rank0 identity: %q origin %d", r0.TraceID, r0.Origin)
+	}
+	if len(r0.Events) != 19 || len(r0.Malformed) != 0 {
+		t.Fatalf("rank0: %d events, %d malformed", len(r0.Events), len(r0.Malformed))
+	}
+	// ts must survive the round trip exactly (beyond float64 precision).
+	if r0.Events[0].TS != 1700000000000000000 {
+		t.Fatalf("ts precision lost: %d", r0.Events[0].TS)
+	}
+	r1 := parseFile(t, "testdata/rank1.jsonl")
+	if r1.Origin != 1 {
+		t.Fatalf("rank1 origin %d", r1.Origin)
+	}
+	if got := obs.SpanOrigin(r1.Events[1].Span); got != 1 {
+		t.Fatalf("rank1 span ids not rank-qualified: origin %d", got)
+	}
+	for _, tr := range []*Trace{r0, r1} {
+		if probs := Check(tr); len(probs) != 0 {
+			t.Fatalf("fixture fails check: %v", probs)
+		}
+	}
+}
+
+// TestCheckProblems feeds streams with known defects and expects each
+// to be reported, not panicked on.
+func TestCheckProblems(t *testing.T) {
+	cases := []struct {
+		name  string
+		jsonl string
+		kinds []string
+	}{
+		{"truncated-tail",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":2,"kind":"begin","span":1,"name":"run"}
+{"ts":3,"kind":"end","span":1,"na`,
+			[]string{"malformed", "unbalanced"}},
+		{"end-without-begin",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":2,"kind":"end","span":9,"name":"run","dur_ns":1}`,
+			[]string{"unbalanced"}},
+		{"orphan-parent",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":2,"kind":"begin","span":1,"parent":99,"name":"child"}
+{"ts":3,"kind":"end","span":1,"parent":99,"name":"child","dur_ns":1}`,
+			[]string{"orphan"}},
+		{"missing-header",
+			`{"ts":2,"kind":"begin","span":1,"name":"run"}
+{"ts":3,"kind":"end","span":1,"name":"run","dur_ns":1}`,
+			[]string{"noheader"}},
+		{"double-end",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":2,"kind":"begin","span":1,"name":"run"}
+{"ts":3,"kind":"end","span":1,"name":"run","dur_ns":1}
+{"ts":4,"kind":"end","span":1,"name":"run","dur_ns":2}`,
+			[]string{"duplicate"}},
+		{"end-before-begin",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":5,"kind":"begin","span":1,"name":"run"}
+{"ts":3,"kind":"end","span":1,"name":"run","dur_ns":1}`,
+			[]string{"ordering"}},
+		{"garbage-kind",
+			`{"ts":1,"kind":"trace","name":"trace","trace":"ab"}
+{"ts":2,"kind":"bogus","name":"x"}`,
+			[]string{"malformed"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseJSONL(strings.NewReader(tc.jsonl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			probs := Check(tr)
+			got := map[string]bool{}
+			for _, p := range probs {
+				got[p.Kind] = true
+			}
+			for _, k := range tc.kinds {
+				if !got[k] {
+					t.Errorf("want a %q problem, got %v", k, probs)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeGolden merges the fixtures and pins the output stream.
+func TestMergeGolden(t *testing.T) {
+	r0 := parseFile(t, "testdata/rank0.jsonl")
+	r1 := parseFile(t, "testdata/rank1.jsonl")
+	merged, err := Merge([]*Trace{r1, r0}) // order of inputs must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.TraceID != "feedc0dedeadbeef" {
+		t.Fatalf("merged trace id %q", merged.TraceID)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "merged.jsonl"), buf.Bytes())
+
+	// The merged stream must be re-parseable and clean.
+	re, err := ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := Check(re); len(probs) != 0 {
+		t.Fatalf("merged stream fails check: %v", probs)
+	}
+
+	// Refusals: mixed runs and duplicate ranks.
+	other := parseFile(t, "testdata/rank0.jsonl")
+	other.TraceID = "0000000000000000"
+	if _, err := Merge([]*Trace{r0, other}); err == nil {
+		t.Fatal("merge accepted streams from different runs")
+	}
+	if _, err := Merge([]*Trace{r0, parseFile(t, "testdata/rank0.jsonl")}); err == nil {
+		t.Fatal("merge accepted two streams claiming the same rank")
+	}
+}
+
+// TestReportGolden builds the report over the merged fixtures and pins
+// both renderings.
+func TestReportGolden(t *testing.T) {
+	r0 := parseFile(t, "testdata/rank0.jsonl")
+	r1 := parseFile(t, "testdata/rank1.jsonl")
+	merged, err := Merge([]*Trace{r0, r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(merged)
+
+	// Hand-checked invariants, independent of the golden bytes.
+	if fmt.Sprint(rep.Ranks) != "[0 1]" {
+		t.Fatalf("ranks %v", rep.Ranks)
+	}
+	if rep.WallNS != 200000000 {
+		t.Fatalf("wall %d", rep.WallNS)
+	}
+	phases := map[string]PhaseStat{}
+	for _, p := range rep.Phases {
+		phases[p.Name] = p
+	}
+	if p := phases["mcmc"]; p.TotalNS != 245000000 || p.Count != 4 {
+		t.Fatalf("mcmc phase %+v", p)
+	}
+	if p := phases["comm"]; p.TotalNS != 100000000 || p.Count != 4 {
+		t.Fatalf("comm phase %+v", p)
+	}
+	if p := phases["checkpoint"]; p.TotalNS != 10000000 || p.Count != 1 {
+		t.Fatalf("checkpoint phase %+v", p)
+	}
+	wantPath := []string{"rank", "sweep", "mcmc"}
+	if len(rep.CriticalPath) != len(wantPath) {
+		t.Fatalf("critical path %+v", rep.CriticalPath)
+	}
+	for i, name := range wantPath {
+		if rep.CriticalPath[i].Name != name {
+			t.Fatalf("critical path step %d = %q, want %q", i, rep.CriticalPath[i].Name, name)
+		}
+	}
+	if rep.CriticalPath[0].Rank != 0 || rep.CriticalPath[0].DurNS != 200000000 {
+		t.Fatalf("critical path root %+v", rep.CriticalPath[0])
+	}
+	if len(rep.Workers) != 4 {
+		t.Fatalf("workers %+v", rep.Workers)
+	}
+	// rank 0 worker 0: busy 130ms, never idle; worker 1: busy 90ms, idle 40ms.
+	if w := rep.Workers[0]; w.BusyNS != 130000000 || w.IdleNS != 0 {
+		t.Fatalf("rank0 worker0 %+v", w)
+	}
+	if w := rep.Workers[1]; w.BusyNS != 90000000 || w.IdleNS != 40000000 {
+		t.Fatalf("rank0 worker1 %+v", w)
+	}
+	if len(rep.SlowSweeps) != 5 || rep.SlowSweeps[0].DurNS != 100000000 {
+		t.Fatalf("slow sweeps %+v", rep.SlowSweeps)
+	}
+
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "report.txt"), text.Bytes())
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "report.json"), append(js, '\n'))
+}
+
+// TestConcurrentForest is the property test: any interleaving of ranks
+// and workers tracing through one Tracer yields a stream that parses
+// clean and checks as a well-formed forest.
+func TestConcurrentForest(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	sink := obs.NewJSONLSink(lockedWriter{mu: &mu, w: &buf})
+	tr := obs.NewTracer(sink)
+	if err := tr.SetIdentity("feedfacecafebeef", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks, sweeps, workers = 4, 8, 3
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := obs.Obs{Tracer: tr}
+			rank := o.StartSpan("rank", obs.F("rank", r))
+			for s := 0; s < sweeps; s++ {
+				sweep := rank.Child("sweep", obs.F("sweep", s))
+				var wwg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wwg.Add(1)
+					go func(w int) {
+						defer wwg.Done()
+						mc := sweep.Child("mcmc", obs.F("worker", w))
+						mc.Event("sweep", obs.F("sweep", s), obs.F("dur_ns", 10))
+						mc.End()
+					}(w)
+				}
+				wwg.Wait()
+				sweep.End(obs.F("sweep", s))
+			}
+			rank.End()
+		}(r)
+	}
+	wg.Wait()
+
+	parsed, err := ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := Check(parsed); len(probs) != 0 {
+		t.Fatalf("concurrent trace is not a well-formed forest: %v", probs)
+	}
+	if parsed.TraceID != "feedfacecafebeef" || parsed.Origin != 3 {
+		t.Fatalf("identity lost: %q origin %d", parsed.TraceID, parsed.Origin)
+	}
+	wantSpans := ranks * (1 + sweeps*(1+workers))
+	if got := countKind(parsed, "begin"); got != wantSpans {
+		t.Fatalf("%d begin records, want %d", got, wantSpans)
+	}
+	if got := countKind(parsed, "end"); got != wantSpans {
+		t.Fatalf("%d end records, want %d", got, wantSpans)
+	}
+	rep := BuildReport(parsed)
+	if rep.Spans != wantSpans {
+		t.Fatalf("report counts %d spans, want %d", rep.Spans, wantSpans)
+	}
+}
+
+func countKind(tr *Trace, kind string) int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

@@ -1,0 +1,143 @@
+package analyze
+
+import "fmt"
+
+// Problem is one well-formedness defect found by Check.
+type Problem struct {
+	Line int    // offending line (0 when the defect is stream-level)
+	Kind string // "malformed", "unbalanced", "orphan", "ordering", "duplicate", "noheader"
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d: %s: %s", p.Line, p.Kind, p.Msg)
+	}
+	return fmt.Sprintf("%s: %s", p.Kind, p.Msg)
+}
+
+// Check validates one parsed stream:
+//
+//   - every line parsed (truncated/garbage lines are "malformed")
+//   - a "trace" header is present and comes first ("noheader")
+//   - every begin has exactly one end and vice versa ("unbalanced",
+//     "duplicate")
+//   - every parent reference resolves to a known span ("orphan")
+//   - a span ends after it begins, and no event predates the stream
+//     header ("ordering")
+//
+// A stream cut off by SIGKILL typically yields one "malformed" (the
+// torn line) plus "unbalanced" spans — reported, never a panic.
+func Check(tr *Trace) []Problem {
+	var probs []Problem
+	for _, m := range tr.Malformed {
+		probs = append(probs, Problem{Line: m.Line, Kind: "malformed",
+			Msg: fmt.Sprintf("%s (%q)", m.Err, m.Text)})
+	}
+
+	if len(tr.Events) > 0 {
+		if tr.Events[0].Kind != "trace" {
+			probs = append(probs, Problem{Line: tr.Events[0].Line, Kind: "noheader",
+				Msg: "first event is not the trace header"})
+		} else if tr.TraceID == "" {
+			probs = append(probs, Problem{Line: tr.Events[0].Line, Kind: "noheader",
+				Msg: "trace header missing trace id"})
+		}
+	}
+
+	type spanState struct {
+		beginLine int
+		beginTS   int64
+		ended     bool
+	}
+	// No global timestamp-monotonicity check: concurrent ranks capture
+	// TS before the sink serializes their lines, so a valid trace can
+	// interleave. Ordering is only checked where program order
+	// guarantees it — within one span, and against the header.
+	open := map[int64]*spanState{}
+	var headerTS int64
+	sawHeader := false
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case "trace":
+			if sawHeader {
+				probs = append(probs, Problem{Line: e.Line, Kind: "duplicate",
+					Msg: "second trace header in one stream"})
+			}
+			sawHeader, headerTS = true, e.TS
+		case "begin":
+			if st, dup := open[e.Span]; dup {
+				probs = append(probs, Problem{Line: e.Line, Kind: "duplicate",
+					Msg: fmt.Sprintf("span %d already began at line %d", e.Span, st.beginLine)})
+				continue
+			}
+			if e.Parent != 0 {
+				if pst, ok := open[e.Parent]; !ok {
+					probs = append(probs, Problem{Line: e.Line, Kind: "orphan",
+						Msg: fmt.Sprintf("span %d references unknown parent %d", e.Span, e.Parent)})
+				} else if pst.ended {
+					probs = append(probs, Problem{Line: e.Line, Kind: "ordering",
+						Msg: fmt.Sprintf("span %d begins inside already-ended parent %d", e.Span, e.Parent)})
+				}
+			}
+			open[e.Span] = &spanState{beginLine: e.Line, beginTS: e.TS}
+		case "end":
+			st, ok := open[e.Span]
+			if !ok {
+				probs = append(probs, Problem{Line: e.Line, Kind: "unbalanced",
+					Msg: fmt.Sprintf("end for span %d that never began", e.Span)})
+				continue
+			}
+			if st.ended {
+				probs = append(probs, Problem{Line: e.Line, Kind: "duplicate",
+					Msg: fmt.Sprintf("span %d ended twice", e.Span)})
+				continue
+			}
+			if e.TS < st.beginTS {
+				probs = append(probs, Problem{Line: e.Line, Kind: "ordering",
+					Msg: fmt.Sprintf("span %d ends at %d before its begin at %d", e.Span, e.TS, st.beginTS)})
+			}
+			st.ended = true
+		case "event":
+			if e.Parent != 0 {
+				if _, ok := open[e.Parent]; !ok {
+					probs = append(probs, Problem{Line: e.Line, Kind: "orphan",
+						Msg: fmt.Sprintf("event %q references unknown parent %d", e.Name, e.Parent)})
+				}
+			}
+		}
+		if sawHeader && e.Kind != "trace" && e.TS < headerTS {
+			probs = append(probs, Problem{Line: e.Line, Kind: "ordering",
+				Msg: "event predates the trace header"})
+		}
+	}
+	for id, st := range open {
+		if !st.ended {
+			probs = append(probs, Problem{Line: st.beginLine, Kind: "unbalanced",
+				Msg: fmt.Sprintf("span %d never ended (truncated stream?)", id)})
+		}
+	}
+	sortProblems(probs)
+	return probs
+}
+
+func sortProblems(probs []Problem) {
+	// Stable order: by line, then kind, so output and tests are
+	// deterministic even though open-span iteration is map-ordered.
+	for i := 1; i < len(probs); i++ {
+		for j := i; j > 0 && less(probs[j], probs[j-1]); j-- {
+			probs[j], probs[j-1] = probs[j-1], probs[j]
+		}
+	}
+}
+
+func less(a, b Problem) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Msg < b.Msg
+}

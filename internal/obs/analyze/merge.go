@@ -1,0 +1,103 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Merge joins the per-rank trace streams of one run into a single
+// time-ordered stream. All inputs must carry the same TraceID in their
+// header — the invariant the dist/net handshake establishes — and
+// distinct origin ranks; a mismatch means the files belong to
+// different runs (or a rank never adopted the cluster identity) and is
+// an error, not a silent interleave.
+//
+// The merged trace has one synthesized header (trace id + the sorted
+// rank list) followed by every non-header event ordered by timestamp,
+// ties broken by origin rank then source line so the output is
+// deterministic. Span ids are rank-qualified at emission time, so no
+// renumbering is needed.
+func Merge(traces []*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("analyze: nothing to merge")
+	}
+	traceID := ""
+	seenOrigin := map[int]bool{}
+	for i, tr := range traces {
+		if tr.TraceID == "" {
+			return nil, fmt.Errorf("analyze: input %d has no trace header (run obsctl check)", i)
+		}
+		if traceID == "" {
+			traceID = tr.TraceID
+		} else if tr.TraceID != traceID {
+			return nil, fmt.Errorf("analyze: trace id mismatch: %q vs %q — inputs are from different runs",
+				traceID, tr.TraceID)
+		}
+		if seenOrigin[tr.Origin] {
+			return nil, fmt.Errorf("analyze: two inputs claim origin rank %d", tr.Origin)
+		}
+		seenOrigin[tr.Origin] = true
+	}
+
+	type tagged struct {
+		ev     Event
+		origin int
+	}
+	var all []tagged
+	var minTS int64
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			if minTS == 0 || ev.TS < minTS {
+				minTS = ev.TS
+			}
+			if ev.Kind == "trace" {
+				continue // replaced by the synthesized merged header
+			}
+			all = append(all, tagged{ev: ev, origin: tr.Origin})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.TS != all[j].ev.TS {
+			return all[i].ev.TS < all[j].ev.TS
+		}
+		if all[i].origin != all[j].origin {
+			return all[i].origin < all[j].origin
+		}
+		return all[i].ev.Line < all[j].ev.Line
+	})
+
+	ranks := make([]int, 0, len(seenOrigin))
+	for o := range seenOrigin {
+		ranks = append(ranks, o)
+	}
+	sort.Ints(ranks)
+
+	out := &Trace{TraceID: traceID}
+	header := Event{
+		TS: minTS, Kind: "trace", Name: "trace",
+		Fields: []Field{{Key: "trace", Value: traceID}, {Key: "ranks", Value: ranks}},
+	}
+	out.Events = make([]Event, 0, len(all)+1)
+	out.Events = append(out.Events, header)
+	for i, t := range all {
+		ev := t.ev
+		ev.Line = i + 2 // renumber for the merged stream (header is line 1)
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
+}
+
+// WriteJSONL renders a trace back to JSONL in the sink envelope order,
+// so merged output is consumable by check and report like any
+// first-hand stream.
+func WriteJSONL(w io.Writer, tr *Trace) error {
+	buf := make([]byte, 0, 256)
+	for _, ev := range tr.Events {
+		buf = AppendJSONL(buf[:0], ev)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Report is the machine-readable summary of one trace (single-rank or
+// merged): where the time went by phase, the critical path through the
+// span tree, per-worker utilization, and the slowest sweeps.
+type Report struct {
+	TraceID string `json:"trace_id"`
+	Ranks   []int  `json:"ranks"`
+	Spans   int    `json:"spans"`
+	Events  int    `json:"events"`
+	WallNS  int64  `json:"wall_ns"`
+
+	Phases       []PhaseStat  `json:"phases"`
+	CriticalPath []PathStep   `json:"critical_path"`
+	Workers      []WorkerStat `json:"workers"`
+	SlowSweeps   []SweepStat  `json:"slow_sweeps"`
+}
+
+// PhaseStat aggregates the spans of one name. TotalNS counts only
+// spans with no same-name ancestor, so recursive nesting (an engine's
+// "mcmc" phase inside a distributed sweep's "mcmc" slice) never
+// double-bills.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	TotalNS int64   `json:"total_ns"`
+	Count   int     `json:"count"`
+	Share   float64 `json:"share"` // of wall time, 0..1
+}
+
+// PathStep is one hop of the critical path: the longest root span,
+// then recursively the longest child.
+type PathStep struct {
+	Name  string `json:"name"`
+	Span  int64  `json:"span"`
+	Rank  int    `json:"rank"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// WorkerStat is one worker's busy/idle split, accumulated from the
+// worker_ns arrays on sweep events. Idle is the gap to the slowest
+// worker of each sweep — the pass's critical path.
+type WorkerStat struct {
+	Rank        int     `json:"rank"`
+	Worker      int     `json:"worker"`
+	BusyNS      int64   `json:"busy_ns"`
+	IdleNS      int64   `json:"idle_ns"`
+	Utilization float64 `json:"utilization"` // busy / (busy + idle)
+}
+
+// SweepStat is one slow-sweep outlier.
+type SweepStat struct {
+	Rank  int     `json:"rank"`
+	Sweep int     `json:"sweep"`
+	DurNS int64   `json:"dur_ns"`
+	MDL   float64 `json:"mdl"`
+}
+
+// maxSlowSweeps bounds the outlier table.
+const maxSlowSweeps = 5
+
+// knownPhases orders the report's phase table: the run decomposition
+// first, anything else after, alphabetically.
+var knownPhases = []string{"mcmc", "merge", "comm", "checkpoint"}
+
+// BuildReport summarizes one parsed (usually merged) trace.
+func BuildReport(tr *Trace) *Report {
+	rep := &Report{TraceID: tr.TraceID}
+
+	ranks := map[int]bool{}
+	var minTS, maxTS int64
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if minTS == 0 || e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+		switch e.Kind {
+		case "begin":
+			rep.Spans++
+			ranks[obs.SpanOrigin(e.Span)] = true
+		case "event":
+			rep.Events++
+		}
+	}
+	if maxTS > minTS {
+		rep.WallNS = maxTS - minTS
+	}
+	for r := range ranks {
+		rep.Ranks = append(rep.Ranks, r)
+	}
+	sort.Ints(rep.Ranks)
+
+	roots, _ := buildForest(tr.Events)
+	rep.Phases = phaseBreakdown(roots, rep.WallNS)
+	rep.CriticalPath = criticalPath(roots)
+	rep.Workers = workerStats(tr.Events)
+	rep.SlowSweeps = slowSweeps(tr.Events)
+	return rep
+}
+
+// phaseBreakdown sums span durations by name, attributing a span only
+// when no ancestor shares its name.
+func phaseBreakdown(roots []*spanNode, wallNS int64) []PhaseStat {
+	totals := map[string]*PhaseStat{}
+	var walk func(n *spanNode, inside map[string]bool)
+	walk = func(n *spanNode, inside map[string]bool) {
+		name := n.begin.Name
+		st := totals[name]
+		if st == nil {
+			st = &PhaseStat{Name: name}
+			totals[name] = st
+		}
+		st.Count++
+		added := false
+		if !inside[name] {
+			if n.end != nil {
+				st.TotalNS += n.end.DurNS
+			}
+			inside[name] = true
+			added = true
+		}
+		for _, c := range n.children {
+			walk(c, inside)
+		}
+		if added {
+			delete(inside, name)
+		}
+	}
+	for _, r := range roots {
+		walk(r, map[string]bool{})
+	}
+
+	var out []PhaseStat
+	seen := map[string]bool{}
+	for _, name := range knownPhases {
+		if st, ok := totals[name]; ok {
+			out = append(out, *st)
+			seen[name] = true
+		}
+	}
+	var rest []string
+	for name := range totals {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, *totals[name])
+	}
+	for i := range out {
+		if wallNS > 0 {
+			out[i].Share = float64(out[i].TotalNS) / float64(wallNS)
+		}
+	}
+	return out
+}
+
+// criticalPath descends from the longest root through each level's
+// longest child. Spans that never ended measure to their last child's
+// extent (0 when leaf), so a truncated trace still yields a path.
+func criticalPath(roots []*spanNode) []PathStep {
+	dur := func(n *spanNode) int64 {
+		if n.end != nil {
+			return n.end.DurNS
+		}
+		return 0
+	}
+	longest := func(ns []*spanNode) *spanNode {
+		var best *spanNode
+		for _, n := range ns {
+			if best == nil || dur(n) > dur(best) {
+				best = n
+			}
+		}
+		return best
+	}
+	var path []PathStep
+	for n := longest(roots); n != nil; n = longest(n.children) {
+		path = append(path, PathStep{
+			Name: n.begin.Name, Span: n.begin.Span,
+			Rank: obs.SpanOrigin(n.begin.Span), DurNS: dur(n),
+		})
+	}
+	return path
+}
+
+// workerStats accumulates busy/idle per (rank, worker) from the
+// worker_ns arrays of sweep events.
+func workerStats(evs []Event) []WorkerStat {
+	type key struct{ rank, worker int }
+	busy := map[key]int64{}
+	idle := map[key]int64{}
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind != "event" || e.Name != "sweep" {
+			continue
+		}
+		v, ok := e.Get("worker_ns")
+		if !ok {
+			continue
+		}
+		arr, ok := v.([]any)
+		if !ok || len(arr) == 0 {
+			continue
+		}
+		rank := obs.SpanOrigin(e.Parent)
+		var max float64
+		times := make([]float64, 0, len(arr))
+		for _, el := range arr {
+			n, ok := el.(json.Number)
+			if !ok {
+				times = nil
+				break
+			}
+			f, err := n.Float64()
+			if err != nil {
+				times = nil
+				break
+			}
+			times = append(times, f)
+			if f > max {
+				max = f
+			}
+		}
+		for w, t := range times {
+			k := key{rank, w}
+			busy[k] += int64(t)
+			idle[k] += int64(max - t)
+		}
+	}
+	var out []WorkerStat
+	for k, b := range busy {
+		ws := WorkerStat{Rank: k.rank, Worker: k.worker, BusyNS: b, IdleNS: idle[k]}
+		if total := b + idle[k]; total > 0 {
+			ws.Utilization = float64(b) / float64(total)
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// slowSweeps collects the slowest sweeps from sweep events carrying
+// dur_ns (the engines' sweep probes) and from per-sweep "sweep" spans
+// (the distributed runner).
+func slowSweeps(evs []Event) []SweepStat {
+	var all []SweepStat
+	add := func(rank int, e *Event, dur int64) {
+		st := SweepStat{Rank: rank, DurNS: dur}
+		if n, ok := e.GetNumber("sweep"); ok {
+			st.Sweep = int(n)
+		}
+		if n, ok := e.GetNumber("mdl"); ok {
+			st.MDL = n
+		}
+		all = append(all, st)
+	}
+	for i := range evs {
+		e := &evs[i]
+		switch {
+		case e.Kind == "event" && e.Name == "sweep" && e.DurNS > 0:
+			add(obs.SpanOrigin(e.Parent), e, e.DurNS)
+		case e.Kind == "end" && e.Name == "sweep" && e.DurNS > 0:
+			add(obs.SpanOrigin(e.Span), e, e.DurNS)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurNS > all[j].DurNS })
+	if len(all) > maxSlowSweeps {
+		all = all[:maxSlowSweeps]
+	}
+	return all
+}
+
+// WriteText renders the report as the human-facing table obsctl report
+// prints.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("trace %s  ranks %v  wall %s  spans %d  events %d\n",
+		r.TraceID, r.Ranks, fmtDur(r.WallNS), r.Spans, r.Events)
+
+	p("\nPHASE BREAKDOWN\n")
+	p("  %-12s %12s %8s %7s\n", "phase", "total", "share", "spans")
+	for _, ph := range r.Phases {
+		p("  %-12s %12s %7.1f%% %7d\n", ph.Name, fmtDur(ph.TotalNS), ph.Share*100, ph.Count)
+	}
+
+	p("\nCRITICAL PATH\n")
+	for i, step := range r.CriticalPath {
+		p("  %*s%s (rank %d) %s\n", 2*i, "", step.Name, step.Rank, fmtDur(step.DurNS))
+	}
+
+	if len(r.Workers) > 0 {
+		p("\nWORKER UTILIZATION\n")
+		p("  %4s %6s %12s %12s %6s\n", "rank", "worker", "busy", "idle", "util")
+		for _, ws := range r.Workers {
+			p("  %4d %6d %12s %12s %5.1f%%\n",
+				ws.Rank, ws.Worker, fmtDur(ws.BusyNS), fmtDur(ws.IdleNS), ws.Utilization*100)
+		}
+	}
+
+	if len(r.SlowSweeps) > 0 {
+		p("\nSLOWEST SWEEPS\n")
+		p("  %4s %6s %12s %14s\n", "rank", "sweep", "dur", "mdl")
+		for _, s := range r.SlowSweeps {
+			p("  %4d %6d %12s %14.3f\n", s.Rank, s.Sweep, fmtDur(s.DurNS), s.MDL)
+		}
+	}
+	return nil
+}
+
+// fmtDur renders nanoseconds human-readably with millisecond-or-finer
+// precision kept stable for goldens.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
+	"sync"
 )
 
 // Handler returns the debug mux for one registry:
@@ -40,6 +41,27 @@ func Handler(reg *Registry) http.Handler {
 type Server struct {
 	srv  *http.Server
 	addr string
+
+	mu       sync.Mutex
+	flushers []Flusher
+}
+
+// Flusher is anything with buffered telemetry to persist — in practice
+// the JSONL trace FileSink.
+type Flusher interface {
+	Flush() error
+}
+
+// FlushOnShutdown registers a sink to flush (and fsync, for FileSink)
+// when the endpoint shuts down gracefully, so a drained process never
+// leaves a truncated final trace event behind.
+func (s *Server) FlushOnShutdown(f Flusher) {
+	if f == nil {
+		return
+	}
+	s.mu.Lock()
+	s.flushers = append(s.flushers, f)
+	s.mu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -47,8 +69,20 @@ func (s *Server) Addr() string { return s.addr }
 
 // Shutdown gracefully stops the endpoint: it stops accepting new
 // connections and waits for in-flight requests to drain, or for ctx to
-// expire, whichever comes first. Safe to call more than once.
-func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+// expire, whichever comes first, then flushes every registered trace
+// sink. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	s.mu.Lock()
+	flushers := append([]Flusher(nil), s.flushers...)
+	s.mu.Unlock()
+	for _, f := range flushers {
+		if ferr := f.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
 
 // Close immediately closes the endpoint, dropping any in-flight
 // requests. Prefer Shutdown — a scraper cut off mid-exposition reads a

@@ -1,8 +1,13 @@
 package obs
 
 import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -22,9 +27,12 @@ func F(key string, value any) Field { return Field{Key: key, Value: value} }
 
 // Event is one structured trace record. Begin/end pairs share a span
 // id; point events carry the id of their enclosing span in Parent.
+// A "trace" event is the stream header: the first record a tracer
+// emits, carrying the trace id and origin rank that correlate this
+// stream with the other processes of the same run.
 type Event struct {
 	TS     int64   // wall-clock nanoseconds since the Unix epoch
-	Kind   string  // "begin", "end" or "event"
+	Kind   string  // "begin", "end", "event" or "trace"
 	Span   int64   // span id ("begin"/"end"), 0 for point events
 	Parent int64   // enclosing span id, 0 at top level
 	Name   string  // span or event name
@@ -42,16 +50,113 @@ type Sink interface {
 // Tracer is valid: it hands out nil spans, and every span method
 // no-ops on the nil span, so disabled tracing costs one nil-compare
 // per call site.
+//
+// Every tracer has an identity: a TraceID naming the run it belongs
+// to, and an origin rank qualifying its span ids so streams from
+// different processes of the same run never collide when merged. The
+// identity is written as a "trace" header event before the first
+// span; multi-process runs agree on one TraceID (the dist/net
+// handshake, the serve HTTP headers) via SetIdentity before tracing
+// starts.
 type Tracer struct {
 	sink Sink
 	seq  atomic.Int64
 	now  func() time.Time
+
+	trace  string    // trace id shared by every process of one run
+	origin int       // rank qualifier baked into span ids
+	hdr    sync.Once // emits the header event before the first record
+	sealed atomic.Bool
 }
 
-// NewTracer returns a tracer emitting to sink.
+// maxOrigin bounds the rank qualifier: origins use the high bits of
+// the 63-bit span id space, leaving spanSeqBits of sequence per
+// process.
+const (
+	spanSeqBits = 40
+	maxOrigin   = 1 << (62 - spanSeqBits)
+)
+
+// NewTracer returns a tracer emitting to sink, with a fresh random
+// TraceID and origin 0. Cluster members call SetIdentity before
+// tracing to adopt the shared id instead.
 func NewTracer(sink Sink) *Tracer {
-	return &Tracer{sink: sink, now: time.Now}
+	return &Tracer{sink: sink, now: time.Now, trace: NewTraceID()}
 }
+
+// NewTraceID returns a fresh 64-bit trace id as 16 hex characters. IDs
+// come from the OS entropy pool, never from the deterministic RNG
+// tree, so tracing cannot perturb results.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; a time-derived
+		// id keeps tracing alive rather than failing the run.
+		return fmt.Sprintf("%016x", uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID returns the tracer's trace id ("" on the nil tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.trace
+}
+
+// Origin returns the tracer's origin rank (0 on the nil tracer).
+func (t *Tracer) Origin() int {
+	if t == nil {
+		return 0
+	}
+	return t.origin
+}
+
+// SetIdentity adopts a shared trace id and origin rank — how every
+// rank of a dsbp cluster joins rank 0's trace. It must be called
+// before the first span or event; once the header is written the
+// identity is frozen and SetIdentity fails. No-op (nil error) on the
+// nil tracer.
+func (t *Tracer) SetIdentity(trace string, origin int) error {
+	if t == nil {
+		return nil
+	}
+	if trace == "" {
+		return fmt.Errorf("obs: empty trace id")
+	}
+	if origin < 0 || origin >= maxOrigin {
+		return fmt.Errorf("obs: origin %d outside [0,%d)", origin, maxOrigin)
+	}
+	if t.sealed.Load() {
+		return fmt.Errorf("obs: trace identity is frozen (events already emitted)")
+	}
+	t.trace = trace
+	t.origin = origin
+	return nil
+}
+
+// emitHeader writes the stream's "trace" header event exactly once,
+// before the first span or event, and freezes the identity.
+func (t *Tracer) emitHeader() {
+	t.hdr.Do(func() {
+		t.sealed.Store(true)
+		t.sink.Emit(Event{
+			TS: t.now().UnixNano(), Kind: "trace", Name: "trace",
+			Fields: []Field{{Key: "trace", Value: t.trace}, {Key: "origin", Value: t.origin}},
+		})
+	})
+}
+
+// spanID qualifies a fresh sequence number with the origin rank. With
+// origin 0 (single-process runs) ids are the plain sequence 1, 2, ...
+func (t *Tracer) spanID() int64 {
+	return int64(t.origin)<<spanSeqBits | t.seq.Add(1)
+}
+
+// SpanOrigin extracts the origin rank qualifier baked into a span id —
+// how trace analysis attributes a span to the rank that emitted it.
+func SpanOrigin(id int64) int { return int(id >> spanSeqBits) }
 
 // Span is one live span. Spans form the run → outer iteration → phase
 // → sweep hierarchy; children are created through Obs.StartSpan (or
@@ -70,7 +175,8 @@ func (t *Tracer) span(parent *Span, name string, fields []Field) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{t: t, id: t.seq.Add(1), name: name, start: t.now()}
+	t.emitHeader()
+	s := &Span{t: t, id: t.spanID(), name: name, start: t.now()}
 	if parent != nil {
 		s.parent = parent.id
 	}
@@ -86,6 +192,7 @@ func (t *Tracer) event(parent *Span, name string, fields []Field) {
 	if t == nil {
 		return
 	}
+	t.emitHeader()
 	var pid int64
 	if parent != nil {
 		pid = parent.id
@@ -192,6 +299,85 @@ func appendJSONValue(buf []byte, v any) []byte {
 		b, _ = json.Marshal("!" + err.Error())
 	}
 	return append(buf, b...)
+}
+
+// FileSink is a JSONL sink writing to a buffered file. Unlike wrapping
+// a bare *os.File in JSONLSink, the buffer makes high-rate tracing
+// cheap and Flush/Close make graceful shutdown safe: Close flushes the
+// buffer and fsyncs before closing, so a drained process never leaves
+// a torn final event for obsctl to choke on.
+type FileSink struct {
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	err    error
+	closed bool
+}
+
+// NewFileSink creates (truncating) path and returns a buffered sink on
+// it. The caller must Close it to flush and sync the tail.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f, bw: bufio.NewWriterSize(f, 64*1024)}, nil
+}
+
+// Emit writes one event as a JSON line into the buffer.
+func (s *FileSink) Emit(e Event) {
+	buf := appendEventJSON(nil, e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
+		return
+	}
+	_, s.err = s.bw.Write(buf)
+}
+
+// Err returns the first write error, if any.
+func (s *FileSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush drains the buffer and fsyncs the file — the durability point
+// graceful shutdown paths (sbpd drain, obs.Server.Shutdown) call so a
+// kill after Flush cannot truncate an already-reported event.
+func (s *FileSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *FileSink) flushLocked() error {
+	if s.closed {
+		return s.err
+	}
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Sync(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes, syncs and closes the file. Idempotent; returns the
+// first error seen over the sink's lifetime.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.flushLocked()
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.closed = true
+	return s.err
 }
 
 // CollectorSink buffers events in memory — the sink tests and

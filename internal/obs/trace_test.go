@@ -24,8 +24,11 @@ func TestSpanHierarchy(t *testing.T) {
 	run.End()
 
 	evs := sink.Events()
-	if len(evs) != 7 {
-		t.Fatalf("got %d events, want 7", len(evs))
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8 (header + 7)", len(evs))
+	}
+	if evs[0].Kind != "trace" || evs[0].Name != "trace" {
+		t.Fatalf("first event %+v is not the trace header", evs[0])
 	}
 	byName := map[string]Event{}
 	for _, e := range evs {
@@ -90,19 +93,22 @@ func TestJSONLSink(t *testing.T) {
 		}
 		lines = append(lines, m)
 	}
-	if len(lines) != 3 {
-		t.Fatalf("got %d lines, want 3", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4 (header + 3)", len(lines))
 	}
-	if lines[0]["kind"] != "begin" || lines[0]["engine"] != "A-SBP" || lines[0]["blocks"] != float64(32) {
-		t.Fatalf("begin line missing fields: %v", lines[0])
+	if lines[0]["kind"] != "trace" || lines[0]["trace"] != tr.TraceID() || lines[0]["origin"] != float64(0) {
+		t.Fatalf("header line missing trace identity: %v", lines[0])
 	}
-	if lines[1]["kind"] != "event" || lines[1]["mdl"] != 99.125 {
-		t.Fatalf("event line missing fields: %v", lines[1])
+	if lines[1]["kind"] != "begin" || lines[1]["engine"] != "A-SBP" || lines[1]["blocks"] != float64(32) {
+		t.Fatalf("begin line missing fields: %v", lines[1])
 	}
-	if lines[2]["kind"] != "end" || lines[2]["final_mdl"] != 98.5 {
-		t.Fatalf("end line missing fields: %v", lines[2])
+	if lines[2]["kind"] != "event" || lines[2]["mdl"] != 99.125 {
+		t.Fatalf("event line missing fields: %v", lines[2])
 	}
-	if _, ok := lines[2]["dur_ns"]; !ok {
+	if lines[3]["kind"] != "end" || lines[3]["final_mdl"] != 98.5 {
+		t.Fatalf("end line missing fields: %v", lines[3])
+	}
+	if _, ok := lines[3]["dur_ns"]; !ok {
 		t.Fatal("end line missing dur_ns")
 	}
 	for _, m := range lines {
@@ -156,8 +162,8 @@ func TestConcurrentSpans(t *testing.T) {
 		}
 		n++
 	}
-	if n != 4*22 {
-		t.Fatalf("got %d lines, want %d", n, 4*22)
+	if n != 4*22+1 {
+		t.Fatalf("got %d lines, want %d (header + 4 ranks x 22)", n, 4*22+1)
 	}
 }
 

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceContext is the process-boundary frame of a trace: the run's
+// TraceID plus (optionally) the span on the sending side that the
+// receiving side's work belongs to. It rides the dist/net handshake so
+// all ranks of one cluster share a trace, and the X-Sbp-Trace HTTP
+// header so sbpd clients can correlate their requests with the
+// server's trace files.
+type TraceContext struct {
+	// Trace is the shared trace id (hex, 1-32 chars). Empty means "no
+	// trace context".
+	Trace string
+
+	// Span is the qualified id of the remote parent span, 0 for none.
+	Span int64
+}
+
+// Encode renders the context as "trace" or "trace/span-hex" — the
+// exact string carried in the X-Sbp-Trace header and the handshake
+// trace frame. The zero context encodes as "".
+func (tc TraceContext) Encode() string {
+	if tc.Trace == "" {
+		return ""
+	}
+	if tc.Span == 0 {
+		return tc.Trace
+	}
+	return tc.Trace + "/" + strconv.FormatInt(tc.Span, 16)
+}
+
+// ParseTraceContext decodes an Encode result. "" decodes to the zero
+// context (no trace). Anything malformed — non-hex id, oversized id,
+// bad span — is an error, never a panic: the inputs come off the wire.
+func ParseTraceContext(s string) (TraceContext, error) {
+	var tc TraceContext
+	if s == "" {
+		return tc, nil
+	}
+	id, spanPart, hasSpan := strings.Cut(s, "/")
+	if !isHexID(id) {
+		return tc, fmt.Errorf("obs: bad trace id %q (want 1-32 hex chars)", id)
+	}
+	tc.Trace = id
+	if hasSpan {
+		span, err := strconv.ParseInt(spanPart, 16, 64)
+		if err != nil || span < 0 {
+			return tc, fmt.Errorf("obs: bad span id %q in trace context", spanPart)
+		}
+		tc.Span = span
+	}
+	return tc, nil
+}
+
+// isHexID reports whether s is 1-32 lowercase-or-uppercase hex chars.
+func isHexID(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// Context returns the tracer's outbound frame: its TraceID plus the
+// given span as the remote parent (nil span = trace-only). Zero
+// context on the nil tracer.
+func (t *Tracer) Context(s *Span) TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	tc := TraceContext{Trace: t.trace}
+	if s != nil {
+		tc.Span = s.id
+	}
+	return tc
+}
+
+// TraceID returns the attached tracer's trace id ("" when tracing is
+// disabled) — the field run spans carry so a trace file names the run
+// it belongs to even before the header line is consulted.
+func (o Obs) TraceID() string { return o.Tracer.TraceID() }

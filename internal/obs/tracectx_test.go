@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceIdentity pins the identity lifecycle: fresh random ids,
+// SetIdentity before the first event, frozen after.
+func TestTraceIdentity(t *testing.T) {
+	sink := &CollectorSink{}
+	tr := NewTracer(sink)
+	if id := tr.TraceID(); len(id) != 16 || !isHexID(id) {
+		t.Fatalf("fresh trace id %q is not 16 hex chars", id)
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Fatal("NewTraceID returned the same id twice")
+	}
+
+	if err := tr.SetIdentity("abc123", 3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID() != "abc123" || tr.Origin() != 3 {
+		t.Fatalf("identity not adopted: %q origin %d", tr.TraceID(), tr.Origin())
+	}
+	if err := tr.SetIdentity("", 0); err == nil {
+		t.Fatal("empty trace id accepted")
+	}
+	if err := tr.SetIdentity("x", -1); err == nil {
+		t.Fatal("negative origin accepted")
+	}
+
+	o := Obs{Tracer: tr}
+	sp := o.StartSpan("rank")
+	sp.End()
+	if err := tr.SetIdentity("other", 0); err == nil {
+		t.Fatal("identity mutated after events were emitted")
+	}
+
+	evs := sink.Events()
+	if evs[0].Kind != "trace" {
+		t.Fatalf("first event %+v is not the header", evs[0])
+	}
+	if evs[0].Fields[0].Value != "abc123" || evs[0].Fields[1].Value != 3 {
+		t.Fatalf("header fields %v do not carry the identity", evs[0].Fields)
+	}
+	// Span ids are origin-qualified: origin 3 occupies the high bits.
+	wantID := int64(3)<<spanSeqBits | 1
+	if evs[1].Span != wantID {
+		t.Fatalf("span id %d not rank-qualified, want %d", evs[1].Span, wantID)
+	}
+
+	var nilTr *Tracer
+	if nilTr.TraceID() != "" || nilTr.Origin() != 0 {
+		t.Fatal("nil tracer has a non-zero identity")
+	}
+	if err := nilTr.SetIdentity("x", 0); err != nil {
+		t.Fatal("SetIdentity on nil tracer must no-op")
+	}
+}
+
+// TestTraceContextCodec round-trips the wire frame and rejects the
+// malformed inputs a hostile peer could send.
+func TestTraceContextCodec(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{},
+		{Trace: "deadbeefcafef00d"},
+		{Trace: "ab01", Span: 1},
+		{Trace: "deadbeefcafef00d", Span: int64(5)<<spanSeqBits | 77},
+	} {
+		got, err := ParseTraceContext(tc.Encode())
+		if err != nil {
+			t.Fatalf("round-trip %+v: %v", tc, err)
+		}
+		if got != tc {
+			t.Fatalf("round-trip %+v -> %q -> %+v", tc, tc.Encode(), got)
+		}
+	}
+	for _, bad := range []string{
+		"not-hex", "abc/xyz", "/", "abc/", "abc/-5",
+		strings.Repeat("a", 33), "abc/ffffffffffffffffffff",
+	} {
+		if _, err := ParseTraceContext(bad); err == nil {
+			t.Errorf("malformed context %q accepted", bad)
+		}
+	}
+
+	// Tracer → context plumbing, including the span-parent form.
+	tr := NewTracer(&CollectorSink{})
+	if err := tr.SetIdentity("feed", 2); err != nil {
+		t.Fatal(err)
+	}
+	o := Obs{Tracer: tr}
+	sp := o.StartSpan("run")
+	ctx := tr.Context(sp)
+	if ctx.Trace != "feed" || ctx.Span != int64(2)<<spanSeqBits|1 {
+		t.Fatalf("tracer context %+v", ctx)
+	}
+	var nilTr *Tracer
+	if nilTr.Context(nil) != (TraceContext{}) {
+		t.Fatal("nil tracer context not zero")
+	}
+	if (Obs{}).TraceID() != "" {
+		t.Fatal("zero Obs has a trace id")
+	}
+}
+
+// TestFileSink checks the buffered file sink writes valid JSONL and
+// that Flush/Close make the tail durable and are idempotent.
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(sink)
+	o := Obs{Tracer: tr}
+	sp := o.StartSpan("run", F("seed", 7))
+	sp.Event("sweep", F("sweep", 0))
+
+	// Before Flush the buffer may hold everything; after Flush the file
+	// must contain every event emitted so far.
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countJSONLines(t, path); n != 3 {
+		t.Fatalf("after flush: %d lines, want 3", n)
+	}
+	sp.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	sink.Emit(Event{Kind: "event", Name: "late"}) // after close: dropped, no panic
+	if n := countJSONLines(t, path); n != 4 {
+		t.Fatalf("after close: %d lines, want 4", n)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func countJSONLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d corrupt: %v", n+1, err)
+		}
+		n++
+	}
+	return n
+}

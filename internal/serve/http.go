@@ -70,6 +70,7 @@ func (g *graphState) age() {
 // Handler returns the service API:
 //
 //	GET    /healthz                           liveness ("ok", or "draining" with 503)
+//	GET    /readyz                            readiness (registry restored, all ingest workers running)
 //	GET    /graphs                            stats of every graph
 //	POST   /graphs/{name}                     register (JSON GraphConfig body, may be empty)
 //	GET    /graphs/{name}                     stats of one graph
@@ -82,27 +83,36 @@ func (g *graphState) age() {
 //	GET    /graphs/{name}/assignment          full partition as "vertex community" lines
 //	GET    /metrics, /debug/*                 internal/obs exposition (when a registry is attached)
 //
-// Errors are JSON {"error": "..."} with conventional status codes:
-// 404 unknown graph/vertex/community, 409 already registered or no
-// partition yet, 429 ingest backpressure, 503 draining.
+// Errors are JSON {"error": "...", "request": "..."} with conventional
+// status codes: 404 unknown graph/vertex/community, 409 already
+// registered or no partition yet, 429 ingest backpressure (with a
+// Retry-After header), 503 draining or not ready.
+//
+// Every API route is instrumented: per-route latency histograms
+// (sbpd_http_request_seconds), per-route/per-code request counters
+// (sbpd_http_requests_total), an in-flight gauge (sbpd_http_in_flight),
+// and the correlation headers X-Sbp-Request (a per-request id, echoed
+// from the client when it sends one) and X-Sbp-Trace (the process
+// trace id, joining requests to the graphs' stream traces). Requests
+// slower than Config.SlowRequest emit a slow_request trace event.
+// /metrics and /debug are served unwrapped so scrapes don't pollute
+// the SLO surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /graphs", s.handleList)
-	mux.HandleFunc("POST /graphs/{name}", s.handleRegister)
-	mux.HandleFunc("GET /graphs/{name}", s.handleStats)
-	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeregister)
-	mux.HandleFunc("POST /graphs/{name}/edges", s.handleIngest)
-	mux.HandleFunc("POST /graphs/{name}/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /graphs/{name}/vertices/{vertex}", s.handleVertex)
-	mux.HandleFunc("GET /graphs/{name}/communities/{community}", s.handleCommunity)
-	mux.HandleFunc("GET /graphs/{name}/assignment", s.handleAssignment)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /healthz", s.handleHealthz)
+	route("GET /readyz", s.handleReadyz)
+	route("GET /graphs", s.handleList)
+	route("POST /graphs/{name}", s.handleRegister)
+	route("GET /graphs/{name}", s.handleStats)
+	route("DELETE /graphs/{name}", s.handleDeregister)
+	route("POST /graphs/{name}/edges", s.handleIngest)
+	route("POST /graphs/{name}/checkpoint", s.handleCheckpoint)
+	route("GET /graphs/{name}/vertices/{vertex}", s.handleVertex)
+	route("GET /graphs/{name}/communities/{community}", s.handleCommunity)
+	route("GET /graphs/{name}/assignment", s.handleAssignment)
 	if s.cfg.Obs.Metrics != nil {
 		oh := obs.Handler(s.cfg.Obs.Metrics)
 		mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -121,14 +131,108 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.Ready():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// statusWriter captures the response code for the per-route request
+// counter; handlers that never call WriteHeader implicitly send 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route with the request-level SLO surface. The
+// route label is the registration pattern, never the raw URL, so the
+// metric cardinality is bounded by the route table. Request ids are
+// minted per request (or echoed from the client's X-Sbp-Request) and
+// ride on the response and on every error body; X-Sbp-Trace carries
+// the process trace id so a request can be joined against the JSONL
+// stream trace the graphs emit under the same TraceID.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.cfg.Obs.Metrics
+	route := obs.L("route", pattern)
+	dur := reg.Histogram("sbpd_http_request_seconds", "request latency",
+		[]float64{0.001, 0.01, 0.1, 1, 10, 60}, route)
+	inFlight := reg.Gauge("sbpd_http_in_flight", "requests currently being served")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Sbp-Request")
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set("X-Sbp-Request", id)
+		if trace := s.cfg.Obs.TraceID(); trace != "" {
+			w.Header().Set("X-Sbp-Trace", trace)
+		}
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		inFlight.Add(-1)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		dur.Observe(elapsed.Seconds())
+		reg.Counter("sbpd_http_requests_total", "requests served",
+			route, obs.L("code", strconv.Itoa(sw.code))).Inc()
+		if elapsed >= s.cfg.SlowRequest {
+			s.cfg.Obs.Event("slow_request",
+				obs.F("route", pattern), obs.F("request", id),
+				obs.F("code", sw.code), obs.F("dur_ns", elapsed.Nanoseconds()))
+		}
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the conventional JSON error body. The request id
+// minted by instrument is already on the response headers; copying it
+// into the body means a client that only logged the body can still
+// quote the id back when reporting a failure. 429s carry Retry-After:
+// backpressure is a retry-later signal, not a failure.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if id := w.Header().Get("X-Sbp-Request"); id != "" {
+		body["request"] = id
+	}
+	writeJSON(w, code, body)
 }
 
 // errStatus maps service errors onto HTTP codes.

@@ -184,6 +184,11 @@ type Config struct {
 
 	// MaxBatchBytes bounds one ingest request body (<= 0 means 256 MiB).
 	MaxBatchBytes int64
+
+	// SlowRequest is the request-latency threshold above which the
+	// instrumented HTTP surface emits a slow_request trace event
+	// (<= 0 means 1s).
+	SlowRequest time.Duration
 }
 
 // ingestJob is one queued edge batch. done is closed once the batch is
@@ -203,10 +208,16 @@ type graphState struct {
 	det  *stream.Detector
 
 	// qmu guards queue/closed so enqueue never races queue close.
-	qmu    sync.Mutex
-	queue  chan *ingestJob
-	closed bool
-	done   chan struct{} // closed when the worker has drained and exited
+	qmu     sync.Mutex
+	queue   chan *ingestJob
+	closed  bool
+	started chan struct{} // closed once the ingest worker is running (readiness)
+	done    chan struct{} // closed when the worker has drained and exited
+
+	// span is the graph's root trace span: every batch the detector
+	// applies traces under it. Opened at registration/resume, ended
+	// when the worker exits.
+	span *obs.Span
 
 	// lastRefresh is the unixnano instant the partition last changed
 	// (applied batch or restore); feeds the partition-age gauge.
@@ -219,6 +230,7 @@ type graphState struct {
 	ingestBatches *obs.Counter
 	ingestEdges   *obs.Counter
 	ingestErrors  *obs.Counter
+	ingestRej     *obs.Counter
 	ingestDur     *obs.Histogram
 	queryDur      *obs.Histogram
 	queueGauge    *obs.Gauge
@@ -252,6 +264,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBatchBytes <= 0 {
 		cfg.MaxBatchBytes = 256 << 20
+	}
+	if cfg.SlowRequest <= 0 {
+		cfg.SlowRequest = time.Second
 	}
 	s := &Server{
 		cfg:         cfg,
@@ -298,15 +313,17 @@ func (s *Server) newGraphState(name string, gc GraphConfig, det *stream.Detector
 	reg := s.cfg.Obs.Metrics
 	lbl := obs.L("graph", name)
 	g := &graphState{
-		name:  name,
-		gc:    gc,
-		det:   det,
-		queue: make(chan *ingestJob, s.cfg.QueueDepth),
-		done:  make(chan struct{}),
+		name:    name,
+		gc:      gc,
+		det:     det,
+		queue:   make(chan *ingestJob, s.cfg.QueueDepth),
+		started: make(chan struct{}),
+		done:    make(chan struct{}),
 
 		ingestBatches: reg.Counter("sbpd_ingest_batches_total", "edge batches applied", lbl),
 		ingestEdges:   reg.Counter("sbpd_ingest_edges_total", "edges applied", lbl),
 		ingestErrors:  reg.Counter("sbpd_ingest_errors_total", "edge batches rejected by the detector", lbl),
+		ingestRej:     reg.Counter("sbpd_ingest_rejected_total", "edge batches rejected for backpressure (429)", lbl),
 		ingestDur: reg.Histogram("sbpd_ingest_seconds", "batch ingest+refinement latency",
 			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}, lbl),
 		queryDur: reg.Histogram("sbpd_query_seconds", "point query latency",
@@ -318,6 +335,10 @@ func (s *Server) newGraphState(name string, gc GraphConfig, det *stream.Detector
 		commGauge:  reg.Gauge("sbpd_communities", "non-empty communities", lbl),
 		mdlGauge:   reg.Gauge("sbpd_mdl", "description length of the fitted model", lbl),
 	}
+	// One root span per graph ties every batch the detector applies
+	// into the process trace; requests correlate via X-Sbp-Trace.
+	g.span = s.cfg.Obs.StartSpan("graph", obs.F("graph", name))
+	det.AttachObs(s.cfg.Obs.WithSpan(g.span))
 	g.refreshGauges()
 	return g
 }
@@ -423,6 +444,7 @@ func (g *graphState) enqueue(job *ingestJob) error {
 		g.queueGauge.Set(float64(len(g.queue)))
 		return nil
 	default:
+		g.ingestRej.Inc()
 		return ErrBusy
 	}
 }
@@ -469,7 +491,11 @@ func (s *Server) Ingest(ctx context.Context, name string, edges []graph.Edge, wa
 
 // runWorker is the single consumer of one graph's ingest queue.
 func (s *Server) runWorker(g *graphState) {
-	defer close(g.done)
+	defer func() {
+		g.span.End(obs.F("graph", g.name))
+		close(g.done)
+	}()
+	close(g.started)
 	for job := range g.queue {
 		g.queueGauge.Set(float64(len(g.queue)))
 		start := time.Now()
@@ -534,6 +560,27 @@ func (s *Server) CheckpointAll() error {
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready reports whether the service can take traffic: Shutdown has
+// not begun, the registry is restored, and every registered graph's
+// ingest worker is running. GET /readyz is this predicate over HTTP —
+// load balancers gate on it while a resumed registry is still
+// spinning up its workers.
+func (s *Server) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, g := range s.graphs {
+		select {
+		case <-g.started:
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // Shutdown drains the service: new writes are rejected with
 // ErrDraining, every queued batch is applied, and every graph is

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// TestRequestCorrelationHeaders: every instrumented response carries a
+// request id (echoed when the client supplies one) and the process
+// trace id, and error bodies quote the request id back.
+func TestRequestCorrelationHeaders(t *testing.T) {
+	sink := &obs.CollectorSink{}
+	tr := obs.NewTracer(sink)
+	_, ts := newTestServer(t, Config{
+		Obs: obs.Obs{Metrics: obs.NewRegistry(), Tracer: tr},
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Sbp-Request"); got == "" {
+		t.Error("no X-Sbp-Request header on response")
+	}
+	if got := resp.Header.Get("X-Sbp-Trace"); got != tr.TraceID() {
+		t.Errorf("X-Sbp-Trace %q, want the process trace id %q", got, tr.TraceID())
+	}
+
+	// A client-minted request id is echoed, not replaced.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Sbp-Request", "cafe0123cafe0123")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Sbp-Request"); got != "cafe0123cafe0123" {
+		t.Errorf("client request id not echoed: got %q", got)
+	}
+
+	// Error bodies carry the request id so a logged body alone is
+	// enough to correlate.
+	code, body := do(t, "GET", ts.URL+"/graphs/nope", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown graph: code %d", code)
+	}
+	if id, _ := body["request"].(string); id == "" {
+		t.Errorf("error body has no request id: %v", body)
+	}
+}
+
+// TestReadyzAndBackpressure drives the readiness probe and the 429
+// path white-box: a graph whose worker never started keeps /readyz at
+// 503, and a full queue yields 429 + Retry-After + the rejected
+// counter.
+func TestReadyzAndBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 1, Obs: obs.Obs{Metrics: obs.NewRegistry()}})
+
+	if code, body := do(t, "GET", ts.URL+"/readyz", ""); code != 200 || body["status"] != "ready" {
+		t.Fatalf("empty registry not ready: %d %v", code, body)
+	}
+
+	// Plant a graph with no worker: queue full, started never closed.
+	g := s.newGraphState("stuck", GraphConfig{}, stream.NewDetector(stream.DefaultConfig()))
+	if err := g.enqueue(&ingestJob{edges: testBatches(t, 1, 3)[0], done: make(chan struct{})}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.graphs["stuck"] = g
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.graphs, "stuck")
+		s.mu.Unlock()
+	}()
+
+	if code, body := do(t, "GET", ts.URL+"/readyz", ""); code != 503 || body["status"] != "starting" {
+		t.Errorf("unstarted worker reported ready: %d %v", code, body)
+	}
+	close(g.started)
+	if code, _ := do(t, "GET", ts.URL+"/readyz", ""); code != 200 {
+		t.Errorf("started worker not ready: %d", code)
+	}
+
+	// The queue holds one job and nothing drains it: the next batch
+	// must bounce with the retry-later contract.
+	req, _ := http.NewRequest("POST", ts.URL+"/graphs/stuck/edges", strings.NewReader("1 2\n"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: code %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if got := g.ingestRej.Value(); got != 1 {
+		t.Errorf("sbpd_ingest_rejected_total = %d, want 1", got)
+	}
+}
+
+// TestSlowRequestEventAndStreamTrace: with a tracer attached, ingest
+// traces as graph → batch → run spans under one TraceID, and requests
+// crossing the SlowRequest threshold emit slow_request events.
+func TestSlowRequestEventAndStreamTrace(t *testing.T) {
+	sink := &obs.CollectorSink{}
+	_, ts := newTestServer(t, Config{
+		SlowRequest: time.Nanosecond, // everything is slow
+		Obs:         obs.Obs{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(sink)},
+	})
+
+	if code, _ := do(t, "POST", ts.URL+"/graphs/g", ""); code != 201 {
+		t.Fatal("register failed")
+	}
+	if code, _ := do(t, "POST", ts.URL+"/graphs/g/edges", edgesBody(testBatches(t, 1, 9)[0])); code != 200 {
+		t.Fatal("ingest failed")
+	}
+
+	spans := map[string]obs.Event{}
+	slow := 0
+	for _, e := range sink.Events() {
+		if e.Kind == "begin" {
+			if _, ok := spans[e.Name]; !ok {
+				spans[e.Name] = e
+			}
+		}
+		if e.Kind == "event" && e.Name == "slow_request" {
+			slow++
+		}
+	}
+	for _, name := range []string{"graph", "batch", "run"} {
+		if _, ok := spans[name]; !ok {
+			t.Errorf("no %q span in stream trace", name)
+		}
+	}
+	if spans["batch"].Parent != spans["graph"].Span {
+		t.Errorf("batch span parent %d, want the graph span %d",
+			spans["batch"].Parent, spans["graph"].Span)
+	}
+	if slow == 0 {
+		t.Error("no slow_request events at a 1ns threshold")
+	}
+}
+
+// TestHTTPMetricsExposition: the SLO instruments appear on /metrics
+// with route/code labels.
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Obs: obs.Obs{Metrics: obs.NewRegistry()}})
+	if code, _ := do(t, "GET", ts.URL+"/healthz", ""); code != 200 {
+		t.Fatal("healthz failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`sbpd_http_requests_total{code="200",route="GET /healthz"}`,
+		`sbpd_http_request_seconds`,
+		`sbpd_http_in_flight`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStreamObsBitIdentical runs the same batch sequence through an
+// inert detector and a fully traced one and requires bit-identical
+// partitions at every batch boundary — telemetry must never touch the
+// detector's RNG tree.
+func TestStreamObsBitIdentical(t *testing.T) {
+	_, _, batches := streamedGraph(t, 4, 11)
+
+	plain := NewDetector(DefaultConfig())
+	sink := &obs.CollectorSink{}
+	cfg := DefaultConfig()
+	traced := NewDetector(cfg)
+	traced.AttachObs(obs.Obs{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(sink)})
+
+	for i, b := range batches {
+		if err := plain.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := traced.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		sp, st := plain.Snapshot(), traced.Snapshot()
+		if sp.MDL != st.MDL || sp.Blocks != st.Blocks {
+			t.Fatalf("batch %d: traced detector diverged: MDL %.17g vs %.17g, blocks %d vs %d",
+				i, st.MDL, sp.MDL, st.Blocks, sp.Blocks)
+		}
+		for v := range sp.Assignment {
+			if st.Assignment[v] != sp.Assignment[v] {
+				t.Fatalf("batch %d: assignment differs at vertex %d with tracing on", i, v)
+			}
+		}
+	}
+
+	// The trace must carry one batch span per applied batch, with the
+	// refinement phases nested inside.
+	begins := map[string]int{}
+	for _, e := range sink.Events() {
+		if e.Kind == "begin" {
+			begins[e.Name]++
+		}
+	}
+	if begins["batch"] != len(batches) {
+		t.Errorf("%d batch spans for %d batches", begins["batch"], len(batches))
+	}
+	if begins["run"] == 0 || begins["mcmc"] == 0 {
+		t.Errorf("no refinement spans under the batch spans: %v", begins)
+	}
+}

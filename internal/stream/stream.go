@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcmc"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/sbp"
@@ -86,6 +87,14 @@ type Config struct {
 
 	// Seed drives the deterministic RNG tree.
 	Seed uint64
+
+	// Obs carries the stream's telemetry handles (internal/obs): each
+	// non-empty batch opens a "batch" span under Obs.Span, with the
+	// merge/MCMC phase spans of the refinement nested inside it.
+	// Telemetry consumes no RNG draws, so a traced stream is
+	// bit-identical to an inert one. Obs is process state, never part
+	// of a checkpoint — reattach with AttachObs after Restore.
+	Obs obs.Obs
 }
 
 // DefaultConfig returns a streaming setup with H-SBP refinement.
@@ -236,12 +245,25 @@ func (d *Detector) publish(bm *blockmodel.Blockmodel) {
 	})
 }
 
+// AttachObs wires telemetry into the detector after construction —
+// the path Restore and cmd/sbpd use, since an Obs handle is process
+// state and never part of a checkpoint. Telemetry cannot change
+// results (it consumes no RNG draws). Call before the first Ingest
+// that should be traced; not safe concurrently with Ingest.
+func (d *Detector) AttachObs(o obs.Obs) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cfg.Obs = o
+}
+
 // fullSearchOptions builds the options of a from-scratch search at the
 // current stream position, consuming one master-RNG draw for its seed.
-func (d *Detector) fullSearchOptions() sbp.Options {
+// o is the batch-scoped telemetry handle the search traces under.
+func (d *Detector) fullSearchOptions(o obs.Obs) sbp.Options {
 	opts := sbp.DefaultOptions(d.cfg.Algorithm)
 	opts.MCMC = d.cfg.MCMC
 	opts.Merge = d.cfg.Merge
+	opts.Obs = o
 	opts.Seed = d.rn.Uint64()
 	if d.cfg.Sample.Enabled() {
 		floor := d.cfg.SampleMinVertices
@@ -295,6 +317,11 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 		return err
 	}
 
+	// One span per applied batch; the refinement phases trace inside it.
+	span := d.cfg.Obs.StartSpan("batch",
+		obs.F("batch", d.batches), obs.F("edges", len(batch)), obs.F("vertices", d.n))
+	bobs := d.cfg.Obs.WithSpan(span)
+
 	// Periodic (or first-batch) full search.
 	full := prevSnap == nil
 	if d.cfg.FullSearchPeriod > 0 && d.batches%d.cfg.FullSearchPeriod == 0 {
@@ -302,8 +329,10 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	}
 	if full {
 		d.fulls++
-		res := sbp.Run(g, d.fullSearchOptions())
+		res := sbp.Run(g, d.fullSearchOptions(bobs))
 		d.publish(res.Best)
+		span.End(obs.F("mdl", res.Best.MDL()),
+			obs.F("blocks", res.Best.NumNonEmptyBlocks()), obs.F("full", true))
 		return nil
 	}
 
@@ -323,6 +352,7 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	}
 	bm, err := blockmodel.FromAssignment(g, assign, int(nextBlock), d.cfg.MCMC.Workers)
 	if err != nil {
+		span.End(obs.F("error", true))
 		return err
 	}
 
@@ -332,9 +362,13 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	// dissolved a community.
 	newBlocks := int(nextBlock) - prevBlocks
 	if newBlocks > 0 && bm.C > 1 {
-		merge.Phase(bm, newBlocks, d.cfg.Merge, d.rn)
+		mergeCfg := d.cfg.Merge
+		mergeCfg.Obs = bobs
+		merge.Phase(bm, newBlocks, mergeCfg, d.rn)
 	}
-	mcmc.Run(bm, d.cfg.Algorithm, d.cfg.MCMC, d.rn)
+	mcmcCfg := d.cfg.MCMC
+	mcmcCfg.Obs = bobs
+	mcmc.Run(bm, d.cfg.Algorithm, mcmcCfg, d.rn)
 	bm.Compact(d.cfg.MCMC.Workers)
 
 	// The incremental path agglomerates and refines but never splits
@@ -342,14 +376,18 @@ func (d *Detector) Ingest(batch []graph.Edge) error {
 	// of the stream would stay collapsed forever. When the carried
 	// structure is degenerate, escalate to a full search — the new
 	// edges may well have created detectable communities.
+	escalated := false
 	if bm.NumNonEmptyBlocks() <= 1 {
 		d.escs++
 		d.fulls++
-		res := sbp.Run(g, d.fullSearchOptions())
+		escalated = true
+		res := sbp.Run(g, d.fullSearchOptions(bobs))
 		bm = res.Best
 	}
 
 	d.publish(bm)
+	span.End(obs.F("mdl", bm.MDL()),
+		obs.F("blocks", bm.NumNonEmptyBlocks()), obs.F("escalated", escalated))
 	return nil
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# obsctl end-to-end smoke: a real 2-rank dsbp run over loopback TCP
+# with -trace, plus an sbpd ingest with -trace, must produce JSONL
+# streams that `obsctl check` accepts, that `obsctl merge` unifies
+# under one TraceID, and whose `obsctl report` shows nonzero mcmc and
+# comm phases. Used by CI; runnable locally with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/dsbp" ./cmd/dsbp
+go build -o "$tmp/sbpd" ./cmd/sbpd
+go build -o "$tmp/obsctl" ./cmd/obsctl
+
+"$tmp/gengraph" -vertices 400 -communities 6 -min-degree 3 -max-degree 40 \
+  -seed 7 -out "$tmp/graph.tsv"
+
+# --- 2-rank distributed run, both ranks tracing into one directory ---
+peers="127.0.0.1:39411,127.0.0.1:39412"
+common=(-peers "$peers" -graph "$tmp/graph.tsv" -communities 6 -mode hybrid \
+  -seed 11 -max-sweeps 20 -trace "$tmp")
+
+"$tmp/dsbp" -rank 0 "${common[@]}" >"$tmp/rank0.out" 2>"$tmp/rank0.err" &
+pid0=$!
+"$tmp/dsbp" -rank 1 "${common[@]}" >"$tmp/rank1.out" 2>"$tmp/rank1.err" &
+pid1=$!
+
+fail=0
+wait "$pid0" || { echo "rank 0 exited non-zero"; cat "$tmp/rank0.err"; fail=1; }
+wait "$pid1" || { echo "rank 1 exited non-zero"; cat "$tmp/rank1.err"; fail=1; }
+[ "$fail" -eq 0 ] || exit 1
+
+for r in 0 1; do
+  [ -s "$tmp/trace-rank$r.jsonl" ] || { echo "FAIL: no trace file for rank $r"; exit 1; }
+done
+
+# Per-rank streams must validate.
+"$tmp/obsctl" check "$tmp/trace-rank0.jsonl" "$tmp/trace-rank1.jsonl"
+
+# The merge must join both ranks under ONE TraceID.
+"$tmp/obsctl" merge -o "$tmp/run.jsonl" \
+  "$tmp/trace-rank0.jsonl" "$tmp/trace-rank1.jsonl" 2>"$tmp/merge.err"
+cat "$tmp/merge.err"
+grep -q 'merged 2 streams' "$tmp/merge.err" || { echo "FAIL: merge did not join 2 streams"; exit 1; }
+"$tmp/obsctl" check -q "$tmp/run.jsonl"
+
+# The report must decompose the run: nonzero mcmc and comm phases.
+"$tmp/obsctl" report -json "$tmp/report.json" "$tmp/run.jsonl" | tee "$tmp/report.txt"
+python3 - "$tmp/report.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+phases = {p["name"]: p for p in rep["phases"]}
+for want in ("mcmc", "comm"):
+    assert want in phases and phases[want]["total_ns"] > 0, f"phase {want} missing or empty: {phases}"
+assert sorted(rep["ranks"]) == [0, 1], f"ranks {rep['ranks']}"
+assert rep["critical_path"], "no critical path"
+print(f"OK: mcmc {phases['mcmc']['total_ns']}ns, comm {phases['comm']['total_ns']}ns across ranks {rep['ranks']}")
+EOF
+
+# --- sbpd with -trace: the service's stream trace survives SIGTERM ---
+split -n l/3 -d "$tmp/graph.tsv" "$tmp/batch"
+"$tmp/sbpd" -addr 127.0.0.1:39413 -trace "$tmp/sbpd.jsonl" >"$tmp/sbpd.out" 2>&1 &
+spid=$!
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:39413/readyz >/dev/null && break
+  sleep 0.2
+done
+curl -sf -X POST http://127.0.0.1:39413/graphs/smoke -d '{"algorithm":"hsbp","seed":7}' >/dev/null
+for b in "$tmp"/batch*; do
+  curl -sf -X POST http://127.0.0.1:39413/graphs/smoke/edges --data-binary @"$b" >/dev/null
+done
+# Correlation headers must be present on a query.
+hdrs="$(curl -sf -D - -o /dev/null http://127.0.0.1:39413/graphs/smoke/vertices/0)"
+echo "$hdrs" | grep -qi 'X-Sbp-Trace:' || { echo "FAIL: no X-Sbp-Trace header"; exit 1; }
+echo "$hdrs" | grep -qi 'X-Sbp-Request:' || { echo "FAIL: no X-Sbp-Request header"; exit 1; }
+kill -TERM "$spid"
+wait "$spid" || { echo "sbpd exited non-zero"; cat "$tmp/sbpd.out"; exit 1; }
+
+# The drained daemon's trace must validate and carry the graph's
+# batch/refinement spans.
+"$tmp/obsctl" check "$tmp/sbpd.jsonl"
+grep -q '"name":"batch"' "$tmp/sbpd.jsonl" || { echo "FAIL: no batch spans in sbpd trace"; exit 1; }
+
+echo "OK: obsctl check/merge/report pipeline verified on a real 2-rank run + sbpd ingest"

@@ -1,0 +1,160 @@
+package hsbp_test
+
+// End-to-end trace correlation: a 2-rank distributed phase over real
+// loopback TCP, each rank writing its own JSONL trace file through a
+// FileSink (the exact cmd/dsbp wiring), must produce per-rank streams
+// that check clean, merge under ONE TraceID, and decompose into
+// nonzero mcmc and comm phases with a critical path — the contract
+// `dsbp -trace` + `obsctl merge` + `obsctl report` is sold on.
+
+import (
+	stdnet "net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/dist"
+	distnet "repro/internal/dist/net"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/rng"
+)
+
+func TestDistributedTraceMergesAndReports(t *testing.T) {
+	const ranks = 2
+	dir := t.TempDir()
+
+	// A structured graph perturbed away from truth so the phase has
+	// real sweeps (and therefore real mcmc/comm spans) to run.
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "trace-e2e", Vertices: 160, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 6, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(30)
+	perturbed := append([]int32(nil), truth...)
+	for v := range perturbed {
+		if r.Float64() < 0.3 {
+			perturbed[v] = int32(r.Intn(4))
+		}
+	}
+	bm, err := blockmodel.FromAssignment(g, perturbed, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	listeners := make([]stdnet.Listener, ranks)
+	peers := make([]string, ranks)
+	for i := 0; i < ranks; i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+
+	cfg := dist.DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MaxSweeps = 10
+
+	paths := make([]string, ranks)
+	var wg sync.WaitGroup
+	for rk := 0; rk < ranks; rk++ {
+		paths[rk] = filepath.Join(dir, "trace-rank"+string(rune('0'+rk))+".jsonl")
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			sink, err := obs.NewFileSink(paths[rk])
+			if err != nil {
+				t.Errorf("rank %d: %v", rk, err)
+				return
+			}
+			defer sink.Close()
+			tracer := obs.NewTracer(sink)
+			telemetry := obs.Obs{Tracer: tracer}
+
+			tr, err := distnet.Dial(distnet.Config{
+				Rank: rk, Peers: peers, Listener: listeners[rk], Seed: 1,
+				Trace:      tracer.TraceID(),
+				IOTimeout:  30 * time.Second,
+				AcceptWait: 30 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("rank %d dial: %v", rk, err)
+				return
+			}
+			defer tr.Close()
+			if err := tracer.SetIdentity(tr.ClusterTraceID(), rk); err != nil {
+				t.Errorf("rank %d identity: %v", rk, err)
+				return
+			}
+
+			rcfg := cfg
+			rcfg.Obs = telemetry
+			m := append([]int32(nil), bm.Assignment...)
+			if _, err := dist.RunRank(dist.NewComm(tr), bm.G, m, bm.C, dist.ModeHybrid, rcfg); err != nil {
+				t.Errorf("rank %d: %v", rk, err)
+			}
+		}(rk)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every per-rank stream must parse and check clean...
+	traces := make([]*analyze.Trace, ranks)
+	for rk, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[rk], err = analyze.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probs := analyze.Check(traces[rk]); len(probs) != 0 {
+			t.Fatalf("rank %d stream has %d problems, first: %s", rk, len(probs), probs[0])
+		}
+		if traces[rk].Origin != rk {
+			t.Errorf("rank %d stream declares origin %d", rk, traces[rk].Origin)
+		}
+	}
+	// ...under one shared TraceID (rank 0's proposal won the handshake).
+	if traces[0].TraceID == "" || traces[0].TraceID != traces[1].TraceID {
+		t.Fatalf("ranks disagree on TraceID: %q vs %q", traces[0].TraceID, traces[1].TraceID)
+	}
+
+	merged, err := analyze.Merge(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := analyze.Check(merged); len(probs) != 0 {
+		t.Fatalf("merged stream has %d problems, first: %s", len(probs), probs[0])
+	}
+
+	rep := analyze.BuildReport(merged)
+	if len(rep.Ranks) != ranks {
+		t.Errorf("report covers ranks %v, want both", rep.Ranks)
+	}
+	phase := map[string]analyze.PhaseStat{}
+	for _, p := range rep.Phases {
+		phase[p.Name] = p
+	}
+	for _, want := range []string{"mcmc", "comm"} {
+		if phase[want].TotalNS <= 0 {
+			t.Errorf("phase %q has no time in the merged report: %+v", want, rep.Phases)
+		}
+	}
+	if len(rep.CriticalPath) == 0 {
+		t.Error("merged report has no critical path")
+	}
+}
