@@ -29,6 +29,7 @@ import (
 	"repro/internal/blockmodel"
 	"repro/internal/dist"
 	distnet "repro/internal/dist/net"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -58,16 +59,36 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 1, "sweep interval between periodic checkpoints (with -checkpoint-dir)")
 		ckptRetain  = flag.Int("checkpoint-retain", 0, "checkpoint generations kept per rank (0 = default)")
 		resume      = flag.Bool("resume", false, "rejoin from the newest checkpoint boundary common to all ranks (must be set on every rank)")
+
+		supervise      = flag.Bool("supervise", false, "run the whole cluster under supervision: spawn one child process per rank on this machine, restart all ranks from checkpoints when one dies or hangs (requires -checkpoint-dir)")
+		faultPlan      = flag.String("fault-plan", "", "JSON chaos plan injecting seeded network/disk/process faults (see internal/fault)")
+		statusDir      = flag.String("status-dir", "", "directory for per-rank heartbeat status files (default <checkpoint-dir>/status)")
+		hbTimeout      = flag.Duration("heartbeat-timeout", time.Minute, "with -supervise: kill a rank with no progress for this long (0 disables hang detection)")
+		restartBudget  = flag.Int("restart-budget", 5, "with -supervise: maximum cluster restarts before giving up")
+		restartBackoff = flag.Duration("restart-backoff", time.Second, "with -supervise: pause before the first restart, doubling per restart")
+		childGen       = flag.Int("gen", 0, "supervisor generation of this process (set by -supervise; identifies the restart epoch)")
+		outPath        = flag.String("out", "", "write this rank's final global membership to this file, one block id per line")
 	)
 	flag.Parse()
-	if err := run(rankArgs{
+	a := rankArgs{
 		rank: *rank, ranks: *ranks, peers: *peers, graphPath: *graphPath,
 		communities: *communities, mode: *mode, partition: *partition,
 		seed: *seed, maxSweeps: *maxSweeps, threshold: *threshold, beta: *beta,
 		hybridFrac: *hybridFrac, ioTimeout: *ioTimeout, acceptWait: *acceptWait,
 		verbose: *verbose, obsAddr: *obsAddr, tracePath: *tracePath,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptRetain: *ckptRetain, resume: *resume,
-	}); err != nil {
+		gen: *childGen, statusDir: *statusDir, faultPlan: *faultPlan, outPath: *outPath,
+	}
+	var err error
+	if *supervise {
+		err = runSupervise(superviseArgs{
+			rankArgs: a, hbTimeout: *hbTimeout,
+			budget: *restartBudget, backoff: *restartBackoff,
+		})
+	} else {
+		err = run(a)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsbp:", err)
 		os.Exit(1)
 	}
@@ -100,6 +121,12 @@ type rankArgs struct {
 	ckptDir               string
 	ckptEvery, ckptRetain int
 	resume                bool
+
+	// Supervision plumbing: gen is the restart epoch this process
+	// belongs to, statusDir the heartbeat channel, faultPlan the chaos
+	// scenario, outPath an optional final-membership dump.
+	gen                           int
+	statusDir, faultPlan, outPath string
 }
 
 func run(a rankArgs) error {
@@ -144,6 +171,28 @@ func run(a rankArgs) error {
 	default:
 		return fmt.Errorf("unknown -partition %q (want degree or uniform)", a.partition)
 	}
+
+	// The fault plan and the status heartbeat are the supervised-child
+	// half of the self-healing protocol: -supervise passes both down,
+	// but they also work standalone for ad-hoc chaos runs.
+	plan := &fault.Plan{}
+	if a.faultPlan != "" {
+		p, err := fault.Load(a.faultPlan)
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
+	writeStatus := func(phase string, sweep int, mdl float64) {
+		if a.statusDir == "" {
+			return
+		}
+		st := fault.Status{Rank: a.rank, Gen: a.gen, Phase: phase, Sweep: sweep, MDL: mdl}
+		if err := fault.WriteStatus(a.statusDir, st); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbp rank %d: status write: %v\n", a.rank, err)
+		}
+	}
+	writeStatus(fault.PhaseBoot, -1, 0)
 
 	g, err := graph.LoadFile(a.graphPath)
 	if err != nil {
@@ -219,6 +268,7 @@ func run(a rankArgs) error {
 		IOTimeout:  a.ioTimeout,
 		AcceptWait: a.acceptWait,
 		Seed:       a.seed,
+		Generation: a.gen,               // fence out stragglers from killed generations
 		Trace:      telemetry.TraceID(), // propose this rank's trace id
 		Obs:        telemetry,
 		Ctx:        ctx,
@@ -226,6 +276,7 @@ func run(a rankArgs) error {
 	if err != nil {
 		return err
 	}
+	writeStatus(fault.PhaseConnected, -1, 0)
 	// The deferred close is the graceful teardown on every path — after
 	// convergence, after an agreed cancellation stop (RunRank's final
 	// barrier has already quiesced the collectives), and after an error.
@@ -263,11 +314,43 @@ func run(a rankArgs) error {
 			OnError: func(err error) { fmt.Fprintf(os.Stderr, "dsbp rank %d: checkpoint write failed: %v\n", a.rank, err) },
 		},
 	}
-	comm := dist.NewComm(tr)
+	if di := plan.DiskFS(a.rank, a.gen); di != nil {
+		cfg.Ckpt.FS = di
+	}
+	// Heartbeat every completed sweep, and fire any planned process
+	// fault at its boundary. A hung rank stays alive but makes no
+	// progress — exactly what the supervisor's heartbeat deadline is
+	// for — until it is killed.
+	cfg.OnSweep = func(sweep int, mdl float64) {
+		writeStatus(fault.PhaseSweep, sweep, mdl)
+		if pf := plan.ProcAt(a.rank, a.gen, sweep); pf != nil {
+			switch pf.Action {
+			case fault.ActKill:
+				fmt.Fprintf(os.Stderr, "dsbp rank %d: fault plan: killing after sweep %d\n", a.rank, sweep)
+				os.Exit(3)
+			case fault.ActHang:
+				fmt.Fprintf(os.Stderr, "dsbp rank %d: fault plan: hanging after sweep %d\n", a.rank, sweep)
+				for {
+					time.Sleep(time.Hour)
+				}
+			}
+		}
+	}
+
+	// When the plan has live network faults this generation, every rank
+	// wraps — FaultTransport's sequence headers are a cluster-wide
+	// protocol — with its own (possibly zero-fault) configuration.
+	var ep dist.Transport = tr
+	if plan.NetActive(a.gen) {
+		ep = dist.NewFaultTransport(ep, plan.NetConfig(a.rank, a.gen))
+		logf("fault plan active: transport wrapped (gen %d)", a.gen)
+	}
+	comm := dist.NewComm(ep)
 	st, err := dist.RunRank(comm, g, membership, a.communities, m, cfg)
 	if err != nil {
 		return err
 	}
+	writeStatus(fault.PhaseDone, st.Sweeps, st.FinalS)
 	if st.ResumedFrom >= 0 {
 		logf("rejoined from checkpoint boundary sweep %d", st.ResumedFrom)
 	}
@@ -286,5 +369,14 @@ func run(a rankArgs) error {
 		a.rank, m, a.ranks, p, st.Sweeps, st.Converged, st.Interrupted, st.Proposals, st.Accepts,
 		bm.NumNonEmptyBlocks(), st.SentBytes, float64(st.CommTime.Microseconds())/1000,
 		st.InitialS, st.FinalS)
+	if a.outPath != "" {
+		var sb strings.Builder
+		for _, b := range membership {
+			fmt.Fprintf(&sb, "%d\n", b)
+		}
+		if err := os.WriteFile(a.outPath, []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("write -out: %w", err)
+		}
+	}
 	return nil
 }

@@ -30,7 +30,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -117,7 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	api := &http.Server{Handler: srv.Handler()}
+	api := serve.HTTPServer(srv.Handler())
 	log.Printf("serving on http://%s (data dir %q, resume %v)", ln.Addr(), *dataDir, *resume)
 
 	errCh := make(chan error, 1)

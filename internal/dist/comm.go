@@ -38,9 +38,11 @@ import (
 // Cluster is the in-process Transport implementation: a set of ranks
 // wired with point-to-point byte-frame channels.
 type Cluster struct {
-	n     int
-	mail  [][]chan []byte // mail[to][from]
-	bytes atomic.Int64    // total frame bytes sent by all ranks
+	n         int
+	mail      [][]chan []byte // mail[to][from]
+	closed    []chan struct{} // per rank, closed by that rank's Transport.Close
+	closeOnce []sync.Once
+	bytes     atomic.Int64 // total frame bytes sent by all ranks
 }
 
 // NewCluster creates a cluster with n ranks. Channels are buffered so a
@@ -51,12 +53,18 @@ func NewCluster(n int) *Cluster {
 	if n < 1 {
 		panic(fmt.Sprintf("dist: cluster size %d", n))
 	}
-	c := &Cluster{n: n, mail: make([][]chan []byte, n)}
+	c := &Cluster{
+		n:         n,
+		mail:      make([][]chan []byte, n),
+		closed:    make([]chan struct{}, n),
+		closeOnce: make([]sync.Once, n),
+	}
 	for to := 0; to < n; to++ {
 		c.mail[to] = make([]chan []byte, n)
 		for from := 0; from < n; from++ {
 			c.mail[to][from] = make(chan []byte, 8)
 		}
+		c.closed[to] = make(chan struct{})
 	}
 	return c
 }
@@ -94,24 +102,59 @@ func (t *chanTransport) Size() int { return t.cluster.n }
 // does, and it is what makes a sender free to reuse (or mutate) its
 // buffer the moment Send returns. The pre-transport simulation shared
 // payload slices by reference here, a semantics no network can honor.
+// A closed endpoint — ours or the destination's — fails the call the
+// way a reset TCP connection would, so a supervised kill cascades
+// instead of wedging peers on a full mailbox.
 func (t *chanTransport) Send(to int, frame []byte) error {
 	if to < 0 || to >= t.cluster.n || to == t.rank {
 		return fmt.Errorf("invalid destination rank %d", to)
 	}
-	t.cluster.bytes.Add(int64(len(frame)))
-	t.cluster.mail[to][t.rank] <- append([]byte(nil), frame...)
-	return nil
+	// Fail fast when either endpoint is already closed: a select with a
+	// ready mailbox case would otherwise pick between the two at random.
+	select {
+	case <-t.cluster.closed[t.rank]:
+		return fmt.Errorf("dist: rank %d transport closed", t.rank)
+	case <-t.cluster.closed[to]:
+		return fmt.Errorf("dist: peer rank %d transport closed", to)
+	default:
+	}
+	select {
+	case t.cluster.mail[to][t.rank] <- append([]byte(nil), frame...):
+		t.cluster.bytes.Add(int64(len(frame)))
+		return nil
+	case <-t.cluster.closed[t.rank]:
+		return fmt.Errorf("dist: rank %d transport closed", t.rank)
+	case <-t.cluster.closed[to]:
+		return fmt.Errorf("dist: peer rank %d transport closed", to)
+	}
 }
 
 func (t *chanTransport) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= t.cluster.n || from == t.rank {
 		return nil, fmt.Errorf("invalid source rank %d", from)
 	}
-	return <-t.cluster.mail[t.rank][from], nil
+	select {
+	case <-t.cluster.closed[t.rank]:
+		return nil, fmt.Errorf("dist: rank %d transport closed", t.rank)
+	default:
+	}
+	select {
+	case frame := <-t.cluster.mail[t.rank][from]:
+		return frame, nil
+	case <-t.cluster.closed[t.rank]:
+		return nil, fmt.Errorf("dist: rank %d transport closed", t.rank)
+	}
 }
 
-// Close is a no-op: channel wires need no teardown.
-func (t *chanTransport) Close() error { return nil }
+// Close marks the rank's endpoint closed, failing its blocked and
+// future Send/Recv calls. All chanTransport instances for a rank share
+// the close state (it lives in the Cluster), so a supervisor holding a
+// second endpoint for the rank can kill a rank goroutine blocked in a
+// collective. Idempotent and safe from any goroutine.
+func (t *chanTransport) Close() error {
+	t.cluster.closeOnce[t.rank].Do(func() { close(t.cluster.closed[t.rank]) })
+	return nil
+}
 
 // Comm is one rank's collective endpoint over a Transport. It is used
 // by a single rank goroutine. Its traffic and timing accumulators are

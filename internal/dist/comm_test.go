@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBarrierSynchronises(t *testing.T) {
@@ -239,5 +240,40 @@ func TestPartitionBounds(t *testing.T) {
 		if !ok {
 			t.Fatalf("vertex %d unowned", v)
 		}
+	}
+}
+
+// TestChanTransportCloseUnblocksRank: Close on any endpoint instance
+// of a rank fails that rank's blocked and future transport calls — the
+// in-process kill switch the supervisor tests rely on.
+func TestChanTransportCloseUnblocksRank(t *testing.T) {
+	c := NewCluster(2)
+	tr := c.Transport(1)
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := tr.Recv(0)
+		recvErr <- err
+	}()
+	// A second endpoint instance shares the rank's close state.
+	c.Transport(1).Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("Recv on a closed rank returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+	if err := tr.Send(0, []byte("x")); err == nil {
+		t.Error("Send from a closed rank succeeded")
+	}
+	// Sends TO the closed rank fail once its mailbox stops draining.
+	other := c.Transport(0)
+	var sendErr error
+	for i := 0; i < 32 && sendErr == nil; i++ {
+		sendErr = other.Send(1, []byte("y"))
+	}
+	if sendErr == nil {
+		t.Error("sends to a closed rank never failed")
 	}
 }

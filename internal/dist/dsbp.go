@@ -108,6 +108,15 @@ type Config struct {
 	// cancellation: the graceful boundary protocol needs them to finish.
 	Ctx context.Context
 
+	// OnSweep, when non-nil, observes every completed sweep on this
+	// rank: it runs after the replicas rebuilt and agreed on the
+	// boundary MDL, and after any periodic checkpoint at that boundary.
+	// It is the supervisor's heartbeat hook and the fault planner's
+	// process-fault trigger. It runs on the rank goroutine, must not
+	// touch the RNG streams, and is not called on the final converged
+	// or interrupted sweep — those paths return right after agreement.
+	OnSweep func(sweep int, mdl float64)
+
 	// Ckpt configures durable per-rank checkpoints (internal/snapshot).
 	// Every rank writes its own rank%04d-sweep%08d.ckpt at deterministic
 	// sweep boundaries; with Ckpt.Resume set the ranks negotiate the
@@ -572,6 +581,9 @@ func RunRank(comm *Comm, g *graph.Graph, membership []int32, c int, mode Mode, c
 				writeCkpt(boundary, cur)
 				ckptSpan.End()
 			}
+		}
+		if cfg.OnSweep != nil {
+			cfg.OnSweep(sweep, cur)
 		}
 		endSweep(cur)
 	}

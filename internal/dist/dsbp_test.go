@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/blockmodel"
@@ -302,5 +304,55 @@ func TestDistributedHybridBroadcastConsistency(t *testing.T) {
 		if st.FinalS != bm.MDL() {
 			t.Fatalf("ranks=%d: reported final MDL %v != model MDL %v", ranks, st.FinalS, bm.MDL())
 		}
+	}
+}
+
+// TestOnSweepObservesWithoutPerturbing: the heartbeat hook sees every
+// completed sweep except the terminal one, on every rank, and its
+// presence cannot change the search (it runs outside the RNG stream).
+func TestOnSweepObservesWithoutPerturbing(t *testing.T) {
+	const ranks = 3
+	bm, _ := distModel(t, 17)
+	clean, err := RunMCMCPhase(bm, ModeHybrid, testCfg(ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAssign := append([]int32(nil), bm.Assignment...)
+
+	bm2, _ := distModel(t, 17)
+	cfg := testCfg(ranks)
+	var mu sync.Mutex
+	calls := 0
+	lastSweep := -1
+	cfg.OnSweep = func(sweep int, mdl float64) {
+		mu.Lock()
+		calls++
+		if sweep > lastSweep {
+			lastSweep = sweep
+		}
+		if math.IsNaN(mdl) {
+			t.Errorf("OnSweep saw NaN MDL at sweep %d", sweep)
+		}
+		mu.Unlock()
+	}
+	st, err := RunMCMCPhase(bm2, ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalS != clean.FinalS {
+		t.Errorf("observed run MDL %v, clean %v", st.FinalS, clean.FinalS)
+	}
+	for v := range bm2.Assignment {
+		if bm2.Assignment[v] != cleanAssign[v] {
+			t.Fatalf("membership diverges at vertex %d", v)
+		}
+	}
+	// The hook fires for sweeps 0..Sweeps-2 on each rank: the terminal
+	// sweep (converged or interrupted) is not observed.
+	if want := ranks * (st.Sweeps - 1); calls != want {
+		t.Errorf("OnSweep fired %d times, want %d (ranks × (sweeps-1))", calls, want)
+	}
+	if lastSweep != st.Sweeps-2 {
+		t.Errorf("last observed sweep %d, want %d", lastSweep, st.Sweeps-2)
 	}
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
@@ -20,8 +21,9 @@ import (
 // from a private seeded stream, so a given (seed, call sequence) yields
 // the same fault schedule every run.
 
-// FaultConfig tunes the injected faults. Probabilities are per Send and
-// independent; zero values inject nothing.
+// FaultConfig tunes the injected faults. Probabilities are per Send
+// (or per Recv for the hang family) and independent; zero values
+// inject nothing.
 type FaultConfig struct {
 	Seed       uint64
 	DropProb   float64       // P(first transmission lost; retransmitted after RetryDelay)
@@ -29,6 +31,18 @@ type FaultConfig struct {
 	DelayProb  float64       // P(sender stalls before the frame goes out)
 	MaxDelay   time.Duration // stall duration is uniform in (0, MaxDelay]
 	DupProb    float64       // P(frame is sent twice)
+
+	// Receive-side hangs model a peer that is alive at the TCP level but
+	// has stopped making progress — the failure a dead-rank detector
+	// cannot see and a heartbeat deadline must. HangProb is drawn once
+	// per Recv call after the first HangAfter calls completed normally.
+	// A fired hang stalls for HangFor; HangFor <= 0 hangs until Close,
+	// after which Recv returns an error (the supervised-kill path).
+	// The hang draws come from their own seeded stream, so enabling
+	// hangs never perturbs an existing send-side fault schedule.
+	HangProb  float64
+	HangAfter int
+	HangFor   time.Duration
 }
 
 // FaultStats counts the injected faults and their recoveries.
@@ -37,18 +51,24 @@ type FaultStats struct {
 	Delays    int64 // sender-side stalls
 	Dups      int64 // frames sent twice
 	Discarded int64 // duplicate frames filtered on receive
+	Hangs     int64 // receive-side hangs fired
 }
 
 // FaultTransport is a Transport wrapper injecting seeded faults. Like
-// any Transport endpoint it is used by a single rank goroutine; the
-// sequence state and stats need no locking.
+// any Transport endpoint it is used by a single rank goroutine — the
+// sequence state and stats need no locking — except Close, which is
+// safe to call from a supervisor goroutine to break a hung Recv.
 type FaultTransport struct {
-	inner    Transport
-	cfg      FaultConfig
-	rn       *rng.RNG
-	nextSeq  []uint32 // per destination rank; first frame carries seq 1
-	lastSeen []uint32 // per source rank; 0 = nothing received yet
-	stats    FaultStats
+	inner     Transport
+	cfg       FaultConfig
+	rn        *rng.RNG
+	recvRN    *rng.RNG // hang draws; separate stream so send schedules are stable
+	recvCalls int
+	nextSeq   []uint32 // per destination rank; first frame carries seq 1
+	lastSeen  []uint32 // per source rank; 0 = nothing received yet
+	stats     FaultStats
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewFaultTransport wraps inner with seeded fault injection. Wrap every
@@ -58,17 +78,26 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 		inner:    inner,
 		cfg:      cfg,
 		rn:       rng.New(cfg.Seed ^ 0xFA017FA017 ^ uint64(inner.Rank())),
+		recvRN:   rng.New(cfg.Seed ^ 0x5EC07FA017 ^ uint64(inner.Rank())),
 		nextSeq:  make([]uint32, inner.Size()),
 		lastSeen: make([]uint32, inner.Size()),
+		closed:   make(chan struct{}),
 	}
 }
 
 // Stats returns the fault counters so far.
 func (t *FaultTransport) Stats() FaultStats { return t.stats }
 
-func (t *FaultTransport) Rank() int    { return t.inner.Rank() }
-func (t *FaultTransport) Size() int    { return t.inner.Size() }
-func (t *FaultTransport) Close() error { return t.inner.Close() }
+func (t *FaultTransport) Rank() int { return t.inner.Rank() }
+func (t *FaultTransport) Size() int { return t.inner.Size() }
+
+// Close releases any forever-hung Recv, then closes the inner
+// transport. Idempotent and safe from another goroutine — it is the
+// supervisor's kill switch for an in-process rank.
+func (t *FaultTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return t.inner.Close()
+}
 
 // Send wraps the frame with a sequence header and subjects it to the
 // configured faults. All three probability draws happen on every call
@@ -109,7 +138,21 @@ func (t *FaultTransport) Send(to int, frame []byte) error {
 }
 
 // Recv unwraps the sequence header and discards duplicated frames.
+// With hang faults configured it may first stall — bounded by HangFor,
+// or until Close for the hang-until-killed variant.
 func (t *FaultTransport) Recv(from int) ([]byte, error) {
+	if t.cfg.HangProb > 0 {
+		t.recvCalls++
+		if t.recvCalls > t.cfg.HangAfter && t.recvRN.Float64() < t.cfg.HangProb {
+			t.stats.Hangs++
+			if t.cfg.HangFor > 0 {
+				time.Sleep(t.cfg.HangFor)
+			} else {
+				<-t.closed
+				return nil, fmt.Errorf("fault: rank %d hung receiving from rank %d; transport closed", t.Rank(), from)
+			}
+		}
+	}
 	for {
 		wrapped, err := t.inner.Recv(from)
 		if err != nil {

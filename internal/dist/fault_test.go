@@ -133,3 +133,82 @@ func TestFaultTransportAsyncPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultTransportFiniteHangsTransparent: bounded receive-side hangs
+// delay a run but cannot change its result — the DHSBP phase over a
+// hang-prone mesh must stay bit-identical to the clean run.
+func TestFaultTransportFiniteHangsTransparent(t *testing.T) {
+	bm, _ := distModel(t, 11)
+	clean, err := RunMCMCPhase(bm, ModeHybrid, testCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAssign := append([]int32(nil), bm.Assignment...)
+
+	bm2, _ := distModel(t, 11)
+	cfg := testCfg(3)
+	var mu sync.Mutex
+	var wrappers []*FaultTransport
+	cfg.WrapTransport = func(inner Transport) Transport {
+		ft := NewFaultTransport(inner, FaultConfig{
+			Seed: 7, HangProb: 0.2, HangFor: 200 * time.Microsecond,
+		})
+		mu.Lock()
+		wrappers = append(wrappers, ft)
+		mu.Unlock()
+		return ft
+	}
+	st, err := RunMCMCPhase(bm2, ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hangs int64
+	mu.Lock()
+	for _, ft := range wrappers {
+		hangs += ft.Stats().Hangs
+	}
+	mu.Unlock()
+	if hangs == 0 {
+		t.Fatal("no hangs fired; the test exercised nothing")
+	}
+	if st.FinalS != clean.FinalS {
+		t.Errorf("hang-prone run MDL %v, clean %v", st.FinalS, clean.FinalS)
+	}
+	for v := range bm2.Assignment {
+		if bm2.Assignment[v] != cleanAssign[v] {
+			t.Fatalf("membership diverges at vertex %d", v)
+		}
+	}
+}
+
+// TestFaultTransportHangUntilClose: a forever-hang blocks Recv until
+// Close fails it — the primitive the supervisor's kill path relies on.
+func TestFaultTransportHangUntilClose(t *testing.T) {
+	c := NewCluster(2)
+	ft := NewFaultTransport(c.Transport(1), FaultConfig{Seed: 3, HangProb: 1})
+	if err := c.Transport(0).Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := ft.Recv(0)
+		recvErr <- err
+	}()
+	select {
+	case err := <-recvErr:
+		t.Fatalf("hung Recv returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ft.Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("closed hung Recv returned nil error")
+		}
+		if ft.Stats().Hangs != 1 {
+			t.Errorf("hangs = %d, want 1", ft.Stats().Hangs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+}

@@ -39,8 +39,9 @@ import (
 const (
 	// magic identifies a DSBP cluster handshake, version-tagged so
 	// incompatible builds refuse to pair instead of misreading frames.
-	// v2 appended the trace-context frame to the handshake.
-	magic uint32 = 0xD5B7_0002
+	// v2 appended the trace-context frame to the handshake; v3 added
+	// the supervisor generation for restart fencing.
+	magic uint32 = 0xD5B7_0003
 	// maxFrame bounds a frame declaration; anything larger is a
 	// corrupted or hostile length prefix, not a real payload.
 	maxFrame = 1 << 30
@@ -90,6 +91,15 @@ type Config struct {
 	// its own). Empty when tracing is disabled.
 	Trace string
 
+	// Generation is the supervisor restart epoch this endpoint belongs
+	// to, carried in the handshake and used as a fence: an inbound
+	// connection from a different generation is dropped and the accept
+	// loop keeps waiting. That keeps a hung child of a previous
+	// generation — killed by the supervisor but possibly with a dial
+	// already in flight — from joining the fresh mesh and corrupting
+	// the protocol. Plain runs leave it 0 everywhere.
+	Generation int
+
 	// Ctx, when non-nil, aborts connection establishment promptly on
 	// cancellation: backoff sleeps return early and the accept loop is
 	// unblocked by closing the listener, so a SIGTERM during cluster
@@ -135,6 +145,7 @@ type Transport struct {
 	frames    obs.Counter   // frames sent
 	retries   obs.Counter   // failed dial attempts
 	deadline  obs.Counter   // send/recv operations lost to an I/O deadline
+	fenced    obs.Counter   // inbound connections dropped by the generation fence
 	trace     string        // agreed cluster trace id (rank 0's proposal)
 	closeOnce sync.Once
 	closeErr  error
@@ -196,6 +207,8 @@ func Dial(cfg Config) (*Transport, error) {
 			"failed dial attempts during connection establishment", &t.retries, rank)
 		reg.RegisterCounter("dist_net_deadline_hits_total",
 			"send/recv operations that hit their I/O deadline", &t.deadline, rank)
+		reg.RegisterCounter("dist_net_fenced_total",
+			"inbound connections dropped by the restart-generation fence", &t.fenced, rank)
 	}
 
 	// A cancelled context closes the listener, which fails the accept
@@ -244,10 +257,18 @@ func (t *Transport) acceptPeers(cfg Config) error {
 			return fmt.Errorf("dist/net: rank %d accept (%d/%d peers connected): %w",
 				t.rank, seen, t.size-1, err)
 		}
-		from, trace, err := readHandshake(conn, t.size, deadline)
+		from, gen, trace, err := readHandshake(conn, t.size, deadline)
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("dist/net: rank %d handshake: %w", t.rank, err)
+		}
+		if gen != cfg.Generation {
+			// Restart fence: a straggler from another supervisor
+			// generation is not a protocol error, just not one of ours.
+			// Drop it and keep waiting for the real peer.
+			conn.Close()
+			t.fenced.Inc()
+			continue
 		}
 		if from == t.rank || t.in[from] != nil {
 			conn.Close()
@@ -311,7 +332,7 @@ func (t *Transport) dialPeers(cfg Config) error {
 		if tc, ok := conn.(*stdnet.TCPConn); ok {
 			tc.SetNoDelay(true) // collectives are latency-bound small frames
 		}
-		if err := writeHandshake(conn, t.size, t.rank, cfg.Trace, cfg.DialTimeout); err != nil {
+		if err := writeHandshake(conn, t.size, t.rank, cfg.Generation, cfg.Trace, cfg.DialTimeout); err != nil {
 			conn.Close()
 			return fmt.Errorf("dist/net: rank %d handshake to rank %d: %w", t.rank, peer, err)
 		}
@@ -338,57 +359,61 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // handshake layout: magic(4) | cluster size(4) | sender rank(4) |
-// trace length(2) | trace context bytes, big endian like the frame
-// length prefix. The trace frame carries the sender's proposed trace
-// id (obs.TraceContext encoding, empty when tracing is off) so all
-// ranks of one cluster end up in one trace.
-func writeHandshake(conn stdnet.Conn, size, rank int, trace string, timeout time.Duration) error {
-	buf := make([]byte, 14+len(trace))
+// generation(4) | trace length(2) | trace context bytes, big endian
+// like the frame length prefix. The generation is the supervisor
+// restart epoch (the fence acceptPeers checks); the trace frame
+// carries the sender's proposed trace id (obs.TraceContext encoding,
+// empty when tracing is off) so all ranks of one cluster end up in one
+// trace.
+func writeHandshake(conn stdnet.Conn, size, rank, gen int, trace string, timeout time.Duration) error {
+	buf := make([]byte, 18+len(trace))
 	binary.BigEndian.PutUint32(buf[0:], magic)
 	binary.BigEndian.PutUint32(buf[4:], uint32(size))
 	binary.BigEndian.PutUint32(buf[8:], uint32(rank))
-	binary.BigEndian.PutUint16(buf[12:], uint16(len(trace)))
-	copy(buf[14:], trace)
+	binary.BigEndian.PutUint32(buf[12:], uint32(gen))
+	binary.BigEndian.PutUint16(buf[16:], uint16(len(trace)))
+	copy(buf[18:], trace)
 	conn.SetWriteDeadline(time.Now().Add(timeout))
 	defer conn.SetWriteDeadline(time.Time{})
 	_, err := conn.Write(buf)
 	return err
 }
 
-func readHandshake(conn stdnet.Conn, size int, deadline time.Time) (int, string, error) {
-	var buf [14]byte
+func readHandshake(conn stdnet.Conn, size int, deadline time.Time) (int, int, string, error) {
+	var buf [18]byte
 	conn.SetReadDeadline(deadline)
 	defer conn.SetReadDeadline(time.Time{})
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, "", err
+		return 0, 0, "", err
 	}
 	if got := binary.BigEndian.Uint32(buf[0:]); got != magic {
-		return 0, "", fmt.Errorf("bad magic %#08x (version mismatch?)", got)
+		return 0, 0, "", fmt.Errorf("bad magic %#08x (version mismatch?)", got)
 	}
 	if got := int(binary.BigEndian.Uint32(buf[4:])); got != size {
-		return 0, "", fmt.Errorf("peer believes cluster size is %d, ours is %d", got, size)
+		return 0, 0, "", fmt.Errorf("peer believes cluster size is %d, ours is %d", got, size)
 	}
 	from := int(binary.BigEndian.Uint32(buf[8:]))
 	if from < 0 || from >= size {
-		return 0, "", fmt.Errorf("peer rank %d outside [0,%d)", from, size)
+		return 0, 0, "", fmt.Errorf("peer rank %d outside [0,%d)", from, size)
 	}
-	traceLen := int(binary.BigEndian.Uint16(buf[12:]))
+	gen := int(binary.BigEndian.Uint32(buf[12:]))
+	traceLen := int(binary.BigEndian.Uint16(buf[16:]))
 	if traceLen > maxTraceCtx {
-		return 0, "", fmt.Errorf("trace context of %d bytes exceeds %d", traceLen, maxTraceCtx)
+		return 0, 0, "", fmt.Errorf("trace context of %d bytes exceeds %d", traceLen, maxTraceCtx)
 	}
 	trace := ""
 	if traceLen > 0 {
 		tb := make([]byte, traceLen)
 		if _, err := io.ReadFull(conn, tb); err != nil {
-			return 0, "", err
+			return 0, 0, "", err
 		}
 		tc, err := obs.ParseTraceContext(string(tb))
 		if err != nil {
-			return 0, "", fmt.Errorf("peer rank %d: %w", from, err)
+			return 0, 0, "", fmt.Errorf("peer rank %d: %w", from, err)
 		}
 		trace = tc.Trace
 	}
-	return from, trace, nil
+	return from, gen, trace, nil
 }
 
 // Rank returns this endpoint's rank id.

@@ -331,7 +331,7 @@ func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
 		}
 		defer conn.Close()
 		// A handshake from a 5-rank cluster arrives at a 2-rank one.
-		done <- writeHandshake(conn, 5, 0, "", time.Second)
+		done <- writeHandshake(conn, 5, 0, 0, "", time.Second)
 	}()
 	conn, err := stdnet.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -341,7 +341,40 @@ func TestTCPHandshakeRejectsWrongClusterSize(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readHandshake(conn, 2, time.Now().Add(time.Second)); err == nil {
+	if _, _, _, err := readHandshake(conn, 2, time.Now().Add(time.Second)); err == nil {
 		t.Fatal("mismatched cluster size accepted")
+	}
+}
+
+func TestTCPGenerationFence(t *testing.T) {
+	const gen = 5
+	cfgs := loopbackCluster(t, 2)
+	for r := range cfgs {
+		cfgs[r].Generation = gen
+	}
+	// A straggler from the previous supervisor generation dials rank 0
+	// before the real cluster forms. Its connection sits first in the
+	// accept backlog, so the accept loop sees it, must drop it on the
+	// generation mismatch, and keep waiting for the real peer.
+	stale, err := stdnet.Dial("tcp", cfgs[0].Peers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	if err := writeHandshake(stale, 2, 1, gen-1, "", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runTCP(t, cfgs, func(comm *dist.Comm) {
+		comm.Barrier()
+		sum := comm.AllReduceInt64(1, func(a, b int64) int64 { return a + b })
+		if sum != 2 {
+			t.Errorf("rank %d: sum %d over the fenced cluster, want 2", comm.Rank(), sum)
+		}
+	})
+	// The fenced connection was closed by the cluster (or never served):
+	// the straggler reads EOF or a deadline error, never a frame.
+	stale.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := stale.Read(make([]byte, 1)); err == nil {
+		t.Errorf("stale-generation connection received %d bytes after the fence", n)
 	}
 }

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+
+	"repro/internal/snapshot"
+)
+
+// DiskError is the typed error an injected disk fault surfaces through
+// the snapshot commit path. It wraps the matching syscall errno, so
+// errors.Is(err, syscall.ENOSPC) works end to end.
+type DiskError struct {
+	Kind string // DiskENOSPC, DiskEIO or DiskTorn
+	Path string
+	Err  error
+}
+
+func (e *DiskError) Error() string {
+	return fmt.Sprintf("fault: injected %s writing %s: %v", e.Kind, e.Path, e.Err)
+}
+
+func (e *DiskError) Unwrap() error { return e.Err }
+
+// DiskStats counts the injected disk faults.
+type DiskStats struct {
+	Injected int // write attempts failed
+	Torn     int // torn containers left at the final path
+}
+
+// DiskInjector implements snapshot.FS, failing selected write attempts
+// the way a full or dying disk would. Attempts are counted per
+// injector (i.e. per rank per generation); a DiskFault fires on its
+// 1-based Write attempt. Transient faults fire once and let the
+// commit's retry succeed; persistent faults keep failing every retry
+// of the same path, so the error surfaces to OnError and the previous
+// checkpoint generation stays the newest loadable one.
+type DiskInjector struct {
+	mu      sync.Mutex
+	faults  []DiskFault
+	fired   []bool   // fault consumed its Write trigger
+	sticky  []string // persistent faults: path they latched onto
+	attempt int
+	stats   DiskStats
+}
+
+func newDiskInjector(faults []DiskFault) *DiskInjector {
+	return &DiskInjector{
+		faults: faults,
+		fired:  make([]bool, len(faults)),
+		sticky: make([]string, len(faults)),
+	}
+}
+
+// Stats returns the injection counters so far.
+func (d *DiskInjector) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// MkdirAll passes through: directory creation is not a fault surface
+// the plans model.
+func (d *DiskInjector) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// WriteFile counts the attempt and either injects the matching fault
+// or writes the real container.
+func (d *DiskInjector) WriteFile(path string, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.attempt++
+	for i := range d.faults {
+		f := &d.faults[i]
+		switch {
+		case !d.fired[i] && d.attempt == f.Write:
+			d.fired[i] = true
+			if !f.Transient {
+				d.sticky[i] = path
+			}
+			return d.inject(f, path, payload)
+		case d.fired[i] && !f.Transient && d.sticky[i] == path:
+			return d.inject(f, path, payload)
+		}
+	}
+	return snapshot.WriteFile(path, payload)
+}
+
+func (d *DiskInjector) inject(f *DiskFault, path string, payload []byte) error {
+	d.stats.Injected++
+	var errno error
+	switch f.Kind {
+	case DiskENOSPC:
+		errno = syscall.ENOSPC
+	case DiskEIO:
+		errno = syscall.EIO
+	case DiskTorn:
+		// The crash case the atomic temp+rename path cannot see: garbage
+		// at the final path. Half the raw payload with no container
+		// header lands there, so a later read fails the magic/truncation
+		// checks and RankSweeps skips the boundary.
+		d.stats.Torn++
+		_ = os.WriteFile(path, payload[:len(payload)/2], 0o644)
+		errno = syscall.EIO
+	default:
+		errno = syscall.EIO
+	}
+	return &DiskError{Kind: f.Kind, Path: path, Err: errno}
+}

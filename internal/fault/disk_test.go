@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// testRankState builds a minimal encodable rank checkpoint at one
+// sweep boundary.
+func testRankState(t *testing.T, sweep int) *snapshot.RankState {
+	t.Helper()
+	b, err := rng.New(1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &snapshot.RankState{
+		Seed: 1, Rank: 0, Ranks: 1, Beta: 3, Threshold: 1e-4, MaxSweeps: 10,
+		NumVertices: 2, Blocks: 2, Sweep: int32(sweep), PrevMDL: 1.5, InitialS: 2,
+		RNG: b, Membership: []int32{0, 1},
+	}
+}
+
+// TestDiskFaultLeavesPreviousCheckpointLoadable is the satellite
+// contract: an injected ENOSPC/EIO mid-write surfaces as a typed error
+// wrapping the errno, and the previous checkpoint stays the newest
+// loadable boundary.
+func TestDiskFaultLeavesPreviousCheckpointLoadable(t *testing.T) {
+	for _, tc := range []struct {
+		kind  string
+		errno syscall.Errno
+	}{{DiskENOSPC, syscall.ENOSPC}, {DiskEIO, syscall.EIO}} {
+		plan := &Plan{Disk: []DiskFault{{Rank: 0, Write: 2, Kind: tc.kind}}}
+		if err := plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		inj := plan.DiskFS(0, 0)
+		var surfaced error
+		p := snapshot.Policy{
+			Dir: t.TempDir(), FS: inj, WriteRetries: -1,
+			OnError: func(err error) { surfaced = err },
+		}
+		if err := p.WriteRank(testRankState(t, 1)); err != nil {
+			t.Fatalf("%s: boundary 1: %v", tc.kind, err)
+		}
+		err := p.WriteRank(testRankState(t, 2))
+		if err == nil {
+			t.Fatalf("%s: injected fault did not surface", tc.kind)
+		}
+		var de *DiskError
+		if !errors.As(err, &de) || de.Kind != tc.kind {
+			t.Errorf("%s: error %v is not the typed *DiskError", tc.kind, err)
+		}
+		if !errors.Is(err, tc.errno) {
+			t.Errorf("%s: error %v does not wrap %v", tc.kind, err, tc.errno)
+		}
+		if surfaced == nil {
+			t.Errorf("%s: OnError hook did not fire", tc.kind)
+		}
+		if got := p.RankSweeps(0); !reflect.DeepEqual(got, []int{1}) {
+			t.Errorf("%s: loadable sweeps %v, want [1]", tc.kind, got)
+		}
+		if _, err := p.LoadRank(0, 1); err != nil {
+			t.Errorf("%s: previous checkpoint unloadable: %v", tc.kind, err)
+		}
+	}
+}
+
+// TestDiskTornWriteSkippedAtRejoin: a torn container at the final path
+// must fail the typed read checks and be skipped by the rejoin
+// negotiation's RankSweeps, not crash it. The fault is persistent, so
+// the commit retries fail too and the error surfaces.
+func TestDiskTornWriteSkippedAtRejoin(t *testing.T) {
+	plan := &Plan{Disk: []DiskFault{{Rank: 0, Write: 2, Kind: DiskTorn}}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := plan.DiskFS(0, 0)
+	p := snapshot.Policy{Dir: t.TempDir(), FS: inj} // default retry budget
+	if err := p.WriteRank(testRankState(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteRank(testRankState(t, 2)); err == nil {
+		t.Fatal("persistent torn-write fault did not surface")
+	}
+	// First attempt plus the default retries, all torn.
+	if st := inj.Stats(); st.Injected != 1+snapshot.DefaultWriteRetries || st.Torn != st.Injected {
+		t.Errorf("injector stats %+v, want %d torn injections", st, 1+snapshot.DefaultWriteRetries)
+	}
+	// The garbage really is on disk at the final path...
+	if _, err := os.Stat(p.RankPath(0, 2)); err != nil {
+		t.Fatalf("torn container missing from disk: %v", err)
+	}
+	// ...fails the typed container checks...
+	if _, err := snapshot.ReadFile(p.RankPath(0, 2)); err == nil {
+		t.Error("torn container read back clean")
+	}
+	// ...and the rejoin listing skips it.
+	if got := p.RankSweeps(0); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("loadable sweeps %v, want [1]", got)
+	}
+}
+
+// TestTransientDiskFaultRetriedWithoutPerturbingRun: a transient write
+// failure inside a distributed run is absorbed by the commit retry —
+// same final MDL and membership as the clean run, one retry counted.
+func TestTransientDiskFaultRetriedWithoutPerturbingRun(t *testing.T) {
+	cfg := chaosCfg(3)
+
+	golden := chaosModel(t, 13)
+	clean, err := dist.RunMCMCPhase(golden, dist.ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bm := chaosModel(t, 13)
+	plan := &Plan{Disk: []DiskFault{{Rank: RankAll, Write: 2, Kind: DiskENOSPC, Transient: true}}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := plan.DiskFS(0, 0)
+	reg := obs.NewRegistry()
+	faulted := cfg
+	faulted.Ckpt = snapshot.Policy{
+		Dir: t.TempDir(), Every: 1, FS: inj, Obs: obs.Obs{Metrics: reg},
+	}
+	got, err := dist.RunMCMCPhase(bm, dist.ModeHybrid, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalS != clean.FinalS {
+		t.Errorf("faulted run MDL %v, clean %v", got.FinalS, clean.FinalS)
+	}
+	for v := range bm.Assignment {
+		if bm.Assignment[v] != golden.Assignment[v] {
+			t.Fatalf("membership diverges at vertex %d", v)
+		}
+	}
+	if st := inj.Stats(); st.Injected != 1 {
+		t.Errorf("injected %d faults, want exactly 1 (transient)", st.Injected)
+	}
+	if n := reg.Counter("snapshot_write_retries_total", "").Value(); n != 1 {
+		t.Errorf("snapshot_write_retries_total = %d, want 1", n)
+	}
+	// Every checkpoint the run committed is loadable afterwards.
+	for rank := 0; rank < 3; rank++ {
+		for _, sweep := range faulted.Ckpt.RankSweeps(rank) {
+			if _, err := faulted.Ckpt.LoadRank(rank, sweep); err != nil {
+				t.Errorf("rank %d sweep %d unloadable: %v", rank, sweep, err)
+			}
+		}
+	}
+}

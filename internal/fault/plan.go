@@ -1,0 +1,271 @@
+// Package fault implements declarative, seeded chaos plans for
+// distributed SBP runs, and the rank supervisor that makes those runs
+// self-healing.
+//
+// A Plan is one JSON document describing a whole chaos scenario across
+// the three failure surfaces a long MCMC search actually hits:
+//
+//   - net: seeded message-level faults (drop/delay/duplicate, plus
+//     receive-side hangs) injected through dist.FaultTransport;
+//   - disk: checkpoint write failures (ENOSPC, EIO, torn container
+//     bytes) injected through the snapshot.FS hook;
+//   - proc: a rank killed or hung at a chosen sweep boundary, injected
+//     through dist.Config.OnSweep.
+//
+// Every fault is gated on (rank, generation, position-in-schedule) and
+// all randomness is seeded, so a given plan replays the identical
+// scenario on every run — which is what lets the tests assert that a
+// supervised run under chaos finishes bit-identical to the clean run.
+//
+// The Supervisor (supervisor.go) is the recovery half: it watches one
+// Proc per rank, detects dead and hung ranks by heartbeat deadline,
+// and restarts the cluster from the newest common checkpoint under a
+// bounded restart budget.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Fault-plan enums. Gen gates say which supervisor generation (0-based
+// restart epoch) an entry fires in; GenAll fires in every generation.
+const (
+	RankAll  = -1 // fault applies to every rank
+	GenAll   = -1 // fault applies in every generation
+	SweepAll = -1 // proc fault fires at every sweep boundary
+
+	ActKill = "kill" // process exits immediately (non-zero)
+	ActHang = "hang" // process stops making progress but stays alive
+
+	DiskENOSPC = "enospc" // write fails with syscall.ENOSPC
+	DiskEIO    = "eio"    // write fails with syscall.EIO
+	DiskTorn   = "torn"   // garbage lands at the final path, then EIO
+)
+
+// Plan is one declarative chaos scenario. The zero value injects
+// nothing.
+type Plan struct {
+	// Seed drives every probabilistic draw in the plan (network fault
+	// schedules). Deterministic: same plan, same scenario.
+	Seed uint64 `json:"seed"`
+
+	Net  []NetFault  `json:"net,omitempty"`
+	Disk []DiskFault `json:"disk,omitempty"`
+	Proc []ProcFault `json:"proc,omitempty"`
+}
+
+// NetFault configures dist.FaultTransport for one rank (or all). The
+// first entry matching (rank, gen) wins. Durations are milliseconds so
+// plans stay plain JSON.
+type NetFault struct {
+	Rank int `json:"rank"`          // exact rank, or RankAll
+	Gen  int `json:"gen,omitempty"` // exact generation, or GenAll (default 0: first generation only)
+
+	DropProb     float64 `json:"drop_prob,omitempty"`
+	RetryDelayMS int     `json:"retry_delay_ms,omitempty"`
+	DelayProb    float64 `json:"delay_prob,omitempty"`
+	MaxDelayMS   int     `json:"max_delay_ms,omitempty"`
+	DupProb      float64 `json:"dup_prob,omitempty"`
+
+	HangProb  float64 `json:"hang_prob,omitempty"`
+	HangAfter int     `json:"hang_after,omitempty"`
+	HangForMS int     `json:"hang_for_ms,omitempty"` // 0 with hang_prob > 0 = hang until killed
+}
+
+// DiskFault fails one checkpoint write on one rank. Write is the
+// 1-based write-attempt index on that rank's snapshot FS (retries of a
+// failed commit count as attempts too). A Transient fault fires once
+// and lets the retry succeed; a persistent one keeps failing every
+// retry of the same path.
+type DiskFault struct {
+	Rank      int    `json:"rank"`
+	Gen       int    `json:"gen,omitempty"`
+	Write     int    `json:"write"`
+	Kind      string `json:"kind"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+// ProcFault kills or hangs a rank after it completes sweep Sweep.
+// Sweeps are 0-based and global — a resumed generation continues the
+// sweep numbering from its checkpoint, so a fixed Sweep fires only in
+// generations that replay it. SweepAll fires at every boundary (with
+// Gen: GenAll, that is a deliberate crash loop — the restart-budget
+// tests' configuration).
+type ProcFault struct {
+	Rank   int    `json:"rank"`
+	Gen    int    `json:"gen,omitempty"`
+	Sweep  int    `json:"sweep"`
+	Action string `json:"action"`
+}
+
+// Load reads and validates a plan file.
+func Load(path string) (*Plan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("fault: plan %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(raw []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks every entry for in-range probabilities, known kinds
+// and sane gates.
+func (p *Plan) Validate() error {
+	for i, f := range p.Net {
+		if err := checkGate(f.Rank, f.Gen); err != nil {
+			return fmt.Errorf("net[%d]: %w", i, err)
+		}
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{{"drop_prob", f.DropProb}, {"delay_prob", f.DelayProb}, {"dup_prob", f.DupProb}, {"hang_prob", f.HangProb}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("net[%d]: %s %v outside [0,1]", i, pr.name, pr.v)
+			}
+		}
+		if f.RetryDelayMS < 0 || f.MaxDelayMS < 0 || f.HangForMS < 0 || f.HangAfter < 0 {
+			return fmt.Errorf("net[%d]: negative duration or count", i)
+		}
+	}
+	for i, f := range p.Disk {
+		if err := checkGate(f.Rank, f.Gen); err != nil {
+			return fmt.Errorf("disk[%d]: %w", i, err)
+		}
+		if f.Write < 1 {
+			return fmt.Errorf("disk[%d]: write index %d (1-based)", i, f.Write)
+		}
+		switch f.Kind {
+		case DiskENOSPC, DiskEIO, DiskTorn:
+		default:
+			return fmt.Errorf("disk[%d]: unknown kind %q", i, f.Kind)
+		}
+	}
+	for i, f := range p.Proc {
+		if err := checkGate(f.Rank, f.Gen); err != nil {
+			return fmt.Errorf("proc[%d]: %w", i, err)
+		}
+		if f.Sweep < SweepAll {
+			return fmt.Errorf("proc[%d]: sweep %d (0-based boundary or -1 for all)", i, f.Sweep)
+		}
+		switch f.Action {
+		case ActKill, ActHang:
+		default:
+			return fmt.Errorf("proc[%d]: unknown action %q", i, f.Action)
+		}
+	}
+	return nil
+}
+
+func checkGate(rank, gen int) error {
+	if rank < RankAll {
+		return fmt.Errorf("rank %d (exact rank or -1 for all)", rank)
+	}
+	if gen < GenAll {
+		return fmt.Errorf("gen %d (exact generation or -1 for all)", gen)
+	}
+	return nil
+}
+
+func gateMatches(wantRank, wantGen, rank, gen int) bool {
+	return (wantRank == RankAll || wantRank == rank) && (wantGen == GenAll || wantGen == gen)
+}
+
+// NetActive reports whether any network fault entry is live in
+// generation gen. FaultTransport's sequence-header protocol is
+// cluster-wide — a wrapped sender's frames only parse on a wrapped
+// receiver — so when NetActive is true EVERY rank of that generation
+// must wrap its transport with its own NetConfig, faulty or not. The
+// gate depends only on the generation (uniform across the cluster at
+// spawn time), never on the rank, which is what keeps the wrap
+// decision consistent.
+func (p *Plan) NetActive(gen int) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Net {
+		if f.Gen == GenAll || f.Gen == gen {
+			return true
+		}
+	}
+	return false
+}
+
+// NetConfig returns the dist.FaultConfig for one rank in one
+// generation. The first matching entry wins; a rank no entry matches
+// gets the zero fault set (wrap it anyway when NetActive — the
+// transport then only adds the sequence headers). The transport seed
+// is the plan seed; FaultTransport itself folds the rank in.
+func (p *Plan) NetConfig(rank, gen int) dist.FaultConfig {
+	if p == nil {
+		return dist.FaultConfig{}
+	}
+	for _, f := range p.Net {
+		if !gateMatches(f.Rank, f.Gen, rank, gen) {
+			continue
+		}
+		return dist.FaultConfig{
+			Seed:       p.Seed,
+			DropProb:   f.DropProb,
+			RetryDelay: time.Duration(f.RetryDelayMS) * time.Millisecond,
+			DelayProb:  f.DelayProb,
+			MaxDelay:   time.Duration(f.MaxDelayMS) * time.Millisecond,
+			DupProb:    f.DupProb,
+			HangProb:   f.HangProb,
+			HangAfter:  f.HangAfter,
+			HangFor:    time.Duration(f.HangForMS) * time.Millisecond,
+		}
+	}
+	return dist.FaultConfig{Seed: p.Seed}
+}
+
+// DiskFS returns the snapshot filesystem injector for one rank in one
+// generation, or nil when no disk fault applies.
+func (p *Plan) DiskFS(rank, gen int) *DiskInjector {
+	if p == nil {
+		return nil
+	}
+	var faults []DiskFault
+	for _, f := range p.Disk {
+		if gateMatches(f.Rank, f.Gen, rank, gen) {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) == 0 {
+		return nil
+	}
+	return newDiskInjector(faults)
+}
+
+// ProcAt returns the process fault that fires for rank after
+// completing sweep in generation gen, or nil.
+func (p *Plan) ProcAt(rank, gen, sweep int) *ProcFault {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Proc {
+		if gateMatches(f.Rank, f.Gen, rank, gen) && (f.Sweep == SweepAll || f.Sweep == sweep) {
+			return &p.Proc[i]
+		}
+	}
+	return nil
+}

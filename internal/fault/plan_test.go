@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanParseAndSelectors(t *testing.T) {
+	raw := []byte(`{
+		"seed": 42,
+		"net":  [{"rank": 2, "gen": 0, "hang_prob": 1, "hang_after": 16},
+		         {"rank": -1, "gen": -1, "drop_prob": 0.1, "retry_delay_ms": 5}],
+		"disk": [{"rank": 1, "write": 3, "kind": "enospc", "transient": true}],
+		"proc": [{"rank": 0, "gen": 1, "sweep": 7, "action": "kill"},
+		         {"rank": 1, "gen": -1, "sweep": -1, "action": "hang"}]
+	}`)
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.NetActive(0) || !p.NetActive(3) {
+		t.Error("net faults should be active in every generation (second entry is gen -1)")
+	}
+	// First match wins: rank 2 in gen 0 gets the hang entry, not the
+	// catch-all drop entry.
+	fc := p.NetConfig(2, 0)
+	if fc.HangProb != 1 || fc.HangAfter != 16 || fc.DropProb != 0 {
+		t.Errorf("rank 2 gen 0 config %+v, want the hang entry", fc)
+	}
+	// Rank 2 in gen 1 falls through to the catch-all.
+	fc = p.NetConfig(2, 1)
+	if fc.DropProb != 0.1 || fc.RetryDelay != 5*time.Millisecond || fc.HangProb != 0 {
+		t.Errorf("rank 2 gen 1 config %+v, want the catch-all drop entry", fc)
+	}
+	if fc.Seed != 42 {
+		t.Errorf("seed %d not threaded to the transport config", fc.Seed)
+	}
+
+	if inj := p.DiskFS(0, 0); inj != nil {
+		t.Error("rank 0 must not get rank 1's disk injector")
+	}
+	if inj := p.DiskFS(1, 0); inj == nil {
+		t.Error("rank 1 disk injector missing")
+	}
+
+	if pf := p.ProcAt(0, 1, 7); pf == nil || pf.Action != ActKill {
+		t.Errorf("proc fault at (0, 1, 7) = %+v, want the kill", pf)
+	}
+	if pf := p.ProcAt(0, 0, 7); pf != nil {
+		t.Errorf("kill gated to gen 1 fired in gen 0: %+v", pf)
+	}
+	if pf := p.ProcAt(1, 5, 123); pf == nil || pf.Action != ActHang {
+		t.Errorf("sweep-wildcard hang did not fire: %+v", pf)
+	}
+}
+
+func TestPlanValidateRejectsBadEntries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		json string
+		want string
+	}{
+		{"prob out of range", `{"net":[{"rank":0,"drop_prob":1.5}]}`, "outside [0,1]"},
+		{"bad rank gate", `{"net":[{"rank":-2}]}`, "rank -2"},
+		{"bad disk kind", `{"disk":[{"rank":0,"write":1,"kind":"melt"}]}`, `unknown kind "melt"`},
+		{"disk write 0-based", `{"disk":[{"rank":0,"write":0,"kind":"eio"}]}`, "1-based"},
+		{"bad proc action", `{"proc":[{"rank":0,"sweep":1,"action":"maim"}]}`, `unknown action "maim"`},
+		{"bad proc sweep", `{"proc":[{"rank":0,"sweep":-2,"action":"kill"}]}`, "sweep -2"},
+		{"negative duration", `{"net":[{"rank":0,"hang_for_ms":-1}]}`, "negative"},
+	} {
+		_, err := Parse([]byte(tc.json))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed":7,"proc":[{"rank":1,"sweep":5,"action":"kill"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Proc) != 1 || p.Proc[0].Sweep != 5 {
+		t.Errorf("loaded plan %+v", p)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing plan file did not error")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := Status{Rank: 3, Gen: 2, Phase: PhaseSweep, Sweep: 17, MDL: -123.5}
+	if err := WriteStatus(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatus(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 3 || got.Gen != 2 || got.Phase != PhaseSweep || got.Sweep != 17 || got.MDL != -123.5 {
+		t.Errorf("round trip %+v", got)
+	}
+	if got.AtUnixNano == 0 {
+		t.Error("timestamp not stamped on write")
+	}
+	if _, err := ReadStatus(dir, 4); err == nil {
+		t.Error("missing status file did not error")
+	}
+}

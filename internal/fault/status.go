@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Per-rank status files are the cross-process heartbeat channel: a
+// supervised dsbp child rewrites its file at every progress event
+// (boot, mesh connected, each completed sweep, done), and the
+// supervisor reads the write timestamps to tell a slow rank from a
+// hung one. Writes are temp+rename so the supervisor never reads a
+// half-written document.
+
+// Rank phases recorded in Status.Phase.
+const (
+	PhaseBoot      = "boot"      // process started, loading inputs
+	PhaseConnected = "connected" // transport mesh established
+	PhaseSweep     = "sweep"     // completed the sweep in Status.Sweep
+	PhaseDone      = "done"      // rank finished cleanly
+)
+
+// Status is one rank's latest progress report.
+type Status struct {
+	Rank       int     `json:"rank"`
+	Gen        int     `json:"gen"` // supervisor generation that spawned this process
+	Phase      string  `json:"phase"`
+	Sweep      int     `json:"sweep,omitempty"`
+	MDL        float64 `json:"mdl,omitempty"`
+	AtUnixNano int64   `json:"at_unix_nano"`
+}
+
+// StatusPath is the status file of one rank in dir.
+func StatusPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("status-rank%04d.json", rank))
+}
+
+// WriteStatus atomically replaces rank's status file. A zero
+// AtUnixNano is stamped with the current time.
+func WriteStatus(dir string, st Status) error {
+	if st.AtUnixNano == 0 {
+		st.AtUnixNano = time.Now().UnixNano()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	path := StatusPath(dir, st.Rank)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadStatus reads one rank's status file.
+func ReadStatus(dir string, rank int) (Status, error) {
+	raw, err := os.ReadFile(StatusPath(dir, rank))
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return Status{}, fmt.Errorf("fault: status rank %d: %w", rank, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The supervisor is the recovery engine behind `dsbp -supervise`. It
+// is deliberately generic — a Proc is anything that can be waited on,
+// killed, and asked for its latest heartbeat — so the same engine
+// drives real child processes (cmd/dsbp, heartbeats via status files)
+// and in-process rank goroutines (the -race tests, heartbeats via the
+// OnSweep hook).
+//
+// Failure semantics follow from the bulk-synchronous protocol: every
+// rank participates in every per-sweep collective, so one dead or hung
+// rank stalls all of them. There is no per-rank surgical restart — the
+// unit of recovery is the generation. When any rank dies or misses its
+// heartbeat deadline, the supervisor kills the whole generation and
+// starts the next one with resume on; the ranks then negotiate the
+// newest common checkpoint themselves (dist.RunRank's rejoin protocol)
+// and the deterministic sweep schedule guarantees the final result is
+// bit-identical to an uninterrupted run.
+
+// Proc is one supervised rank.
+type Proc interface {
+	// Wait blocks until the rank exits; nil means clean completion.
+	Wait() error
+	// Kill forcibly stops the rank (idempotent, any goroutine). A
+	// killed rank's Wait must eventually return.
+	Kill()
+	// Heartbeat reports the rank's latest progress event: the sweep it
+	// completed and when it reported. ok is false before the first
+	// report.
+	Heartbeat() (sweep int, at time.Time, ok bool)
+}
+
+// Runner starts the rank set for one generation. resume is false only
+// for the very first generation of a fresh run; every restart resumes
+// from checkpoints.
+type Runner interface {
+	StartGen(gen int, resume bool) ([]Proc, error)
+}
+
+// SupervisorConfig tunes the recovery engine. Zero values get the
+// defaults noted on each field.
+type SupervisorConfig struct {
+	// Budget is the maximum number of cluster restarts before the
+	// supervisor gives up (default 5; the budget bounds crash loops,
+	// e.g. a fault plan that kills a rank in every generation).
+	Budget int
+
+	// BackoffBase is the pause before the first restart, doubling per
+	// consecutive restart up to BackoffMax (defaults 1s and 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// HeartbeatTimeout is the progress deadline: a rank whose latest
+	// heartbeat (or spawn, before the first heartbeat) is older than
+	// this is declared hung and killed. It must exceed the worst-case
+	// boot + single-sweep time. 0 disables hang detection — only rank
+	// exits are handled.
+	HeartbeatTimeout time.Duration
+
+	// Poll is the heartbeat check interval (default HeartbeatTimeout/4,
+	// floored at 10ms).
+	Poll time.Duration
+
+	// FirstResume starts generation 0 with resume on — a supervised
+	// run continuing an earlier one.
+	FirstResume bool
+
+	// Obs feeds supervisor_* counters and per-generation spans.
+	Obs obs.Obs
+
+	// Logf, when non-nil, receives human-readable supervision events.
+	Logf func(format string, args ...any)
+}
+
+// Stats summarises a supervised run.
+type Stats struct {
+	Generations int // rank sets started (1 = no restarts)
+	Restarts    int // cluster restarts performed
+	Dead        int // ranks that exited with an error on their own
+	Hung        int // ranks killed for missing the heartbeat deadline
+}
+
+func (c *SupervisorConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Supervise runs generations until one completes cleanly or the
+// restart budget is exhausted. It returns the accumulated stats either
+// way; the error is nil exactly when the run finished.
+func Supervise(cfg SupervisorConfig, run Runner) (Stats, error) {
+	if cfg.Budget == 0 {
+		cfg.Budget = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.Poll < 10*time.Millisecond {
+		cfg.Poll = 10 * time.Millisecond
+	}
+	reg := cfg.Obs.Metrics
+	cGens := reg.Counter("supervisor_generations_total", "supervised rank sets started")
+	cRestarts := reg.Counter("supervisor_restarts_total", "cluster restarts performed by the supervisor")
+	cDead := reg.Counter("supervisor_dead_ranks_total", "ranks that exited with an error")
+	cHung := reg.Counter("supervisor_hung_ranks_total", "ranks killed for missing the heartbeat deadline")
+
+	var st Stats
+	resume := cfg.FirstResume
+	backoff := cfg.BackoffBase
+	for gen := 0; ; gen++ {
+		st.Generations++
+		cGens.Inc()
+		span := cfg.Obs.StartSpan("supervisor-gen", obs.F("gen", gen), obs.F("resume", resume))
+		procs, err := run.StartGen(gen, resume)
+		if err != nil {
+			span.End(obs.F("spawn_error", err.Error()))
+			return st, fmt.Errorf("fault: start generation %d: %w", gen, err)
+		}
+		genErr := superviseGeneration(&cfg, &st, cDead, cHung, procs)
+		span.End(obs.F("failed", genErr != nil))
+		if genErr == nil {
+			cfg.logf("generation %d complete (%d restart(s), %d dead, %d hung rank(s) over the run)",
+				gen, st.Restarts, st.Dead, st.Hung)
+			return st, nil
+		}
+		if st.Restarts >= cfg.Budget {
+			return st, fmt.Errorf("fault: restart budget (%d) exhausted: %w", cfg.Budget, genErr)
+		}
+		st.Restarts++
+		cRestarts.Inc()
+		cfg.logf("generation %d failed (%v); restarting all ranks with resume in %v (restart %d/%d)",
+			gen, genErr, backoff, st.Restarts, cfg.Budget)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+		resume = true
+	}
+}
+
+// superviseGeneration watches one rank set until every rank has
+// exited. The first rank death or hang fails the generation: all
+// remaining ranks are killed (one stalled collective already blocks
+// them all) and the accumulated exits are drained.
+func superviseGeneration(cfg *SupervisorConfig, st *Stats, cDead, cHung *obs.Counter, procs []Proc) error {
+	n := len(procs)
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, n)
+	for i, p := range procs {
+		go func(rank int, p Proc) { exits <- exit{rank, p.Wait()} }(i, p)
+	}
+
+	started := time.Now()
+	exited := make([]bool, n)
+	killed := make([]bool, n)
+	var firstErr error
+	killAll := func() {
+		for i, p := range procs {
+			if !exited[i] && !killed[i] {
+				killed[i] = true
+				p.Kill()
+			}
+		}
+	}
+	ticker := time.NewTicker(cfg.Poll)
+	defer ticker.Stop()
+	for running := n; running > 0; {
+		select {
+		case e := <-exits:
+			running--
+			exited[e.rank] = true
+			if e.err == nil || killed[e.rank] {
+				continue
+			}
+			st.Dead++
+			cDead.Inc()
+			cfg.logf("rank %d died: %v", e.rank, e.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rank %d died: %w", e.rank, e.err)
+			}
+			killAll()
+		case <-ticker.C:
+			if cfg.HeartbeatTimeout <= 0 {
+				continue
+			}
+			now := time.Now()
+			for i, p := range procs {
+				if exited[i] || killed[i] {
+					continue
+				}
+				last := started
+				sweep := -1
+				if s, at, ok := p.Heartbeat(); ok {
+					sweep, last = s, at
+				}
+				if age := now.Sub(last); age > cfg.HeartbeatTimeout {
+					st.Hung++
+					cHung.Inc()
+					cfg.logf("rank %d hung: no progress for %v (last heartbeat sweep %d); killing", i, age.Round(time.Millisecond), sweep)
+					if firstErr == nil {
+						firstErr = fmt.Errorf("rank %d hung: no progress for %v", i, age.Round(time.Millisecond))
+					}
+					killed[i] = true
+					p.Kill()
+					killAll()
+				}
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,297 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blockmodel"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// chaosModel builds a structured blockmodel perturbed away from truth,
+// the same shape the dist package tests use, so supervised runs have
+// real MCMC work to recover.
+func chaosModel(t *testing.T, seed uint64) *blockmodel.Blockmodel {
+	t.Helper()
+	g, truth, err := gen.Generate(gen.Spec{
+		Name: "chaos", Vertices: 200, Communities: 4, MinDegree: 5, MaxDegree: 20,
+		Exponent: 2.5, Ratio: 6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	perturbed := append([]int32(nil), truth...)
+	for v := range perturbed {
+		if r.Float64() < 0.3 {
+			perturbed[v] = int32(r.Intn(4))
+		}
+	}
+	bm, err := blockmodel.FromAssignment(g, perturbed, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+func chaosCfg(ranks int) dist.Config {
+	cfg := dist.DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MaxSweeps = 40
+	return cfg
+}
+
+// inprocProc is one supervised in-process rank: a goroutine running
+// dist.RunRank whose kill switch is its transport's Close.
+type inprocProc struct {
+	transport dist.Transport
+	killOnce  sync.Once
+	killedCh  chan struct{}
+	exit      chan error
+
+	mu    sync.Mutex
+	sweep int
+	at    time.Time
+	beat  bool
+}
+
+func (p *inprocProc) note(sweep int) {
+	p.mu.Lock()
+	p.sweep, p.at, p.beat = sweep, time.Now(), true
+	p.mu.Unlock()
+}
+
+func (p *inprocProc) Heartbeat() (int, time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sweep, p.at, p.beat
+}
+
+func (p *inprocProc) Kill() {
+	p.killOnce.Do(func() {
+		close(p.killedCh)
+		p.transport.Close()
+	})
+}
+
+func (p *inprocProc) Wait() error { return <-p.exit }
+
+// inprocRunner starts one fresh in-process cluster per generation,
+// wiring the fault plan into each rank exactly the way cmd/dsbp wires
+// it into child processes: FaultTransport from plan.NetConfig, the
+// snapshot FS from plan.DiskFS, and process faults through OnSweep.
+type inprocRunner struct {
+	t    *testing.T
+	bm   *blockmodel.Blockmodel
+	init []int32
+	mode dist.Mode
+	base dist.Config
+	plan *Plan
+
+	mu      sync.Mutex
+	results map[int]dist.RankStats
+	final   map[int][]int32
+}
+
+func (r *inprocRunner) StartGen(gen int, resume bool) ([]Proc, error) {
+	ranks := r.base.Ranks
+	cl := dist.NewCluster(ranks)
+	procs := make([]Proc, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		var tr dist.Transport = cl.Transport(rank)
+		if r.plan.NetActive(gen) {
+			tr = dist.NewFaultTransport(tr, r.plan.NetConfig(rank, gen))
+		}
+		p := &inprocProc{transport: tr, killedCh: make(chan struct{}), exit: make(chan error, 1)}
+		cfg := r.base
+		cfg.Ckpt.Resume = resume
+		if di := r.plan.DiskFS(rank, gen); di != nil {
+			cfg.Ckpt.FS = di
+		}
+		rank := rank
+		cfg.OnSweep = func(sweep int, mdl float64) {
+			p.note(sweep)
+			if pf := r.plan.ProcAt(rank, gen, sweep); pf != nil {
+				switch pf.Action {
+				case ActKill:
+					panic(&dist.TransportError{Op: "proc-fault", Rank: rank,
+						Err: errors.New("injected kill")})
+				case ActHang:
+					// Stop making progress but stay "alive" until the
+					// supervisor kills us — the in-process analogue of a
+					// process spinning in a stuck syscall.
+					<-p.killedCh
+					panic(&dist.TransportError{Op: "proc-fault", Rank: rank,
+						Err: errors.New("hung rank killed")})
+				}
+			}
+		}
+		go func() {
+			m := append([]int32(nil), r.init...)
+			st, err := dist.RunRank(dist.NewComm(tr), r.bm.G, m, r.bm.C, r.mode, cfg)
+			if err == nil {
+				r.mu.Lock()
+				r.results[rank] = st
+				r.final[rank] = m
+				r.mu.Unlock()
+			}
+			p.exit <- err
+		}()
+		procs[rank] = p
+	}
+	return procs, nil
+}
+
+func newRunner(t *testing.T, bm *blockmodel.Blockmodel, mode dist.Mode, base dist.Config, plan *Plan) *inprocRunner {
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &inprocRunner{
+		t: t, bm: bm, init: append([]int32(nil), bm.Assignment...),
+		mode: mode, base: base, plan: plan,
+		results: map[int]dist.RankStats{}, final: map[int][]int32{},
+	}
+}
+
+// checkBitIdentical asserts every rank of the supervised run finished
+// with the clean run's exact MDL and membership.
+func checkBitIdentical(t *testing.T, r *inprocRunner, clean dist.PhaseStats, cleanAssign []int32) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for rank := 0; rank < r.base.Ranks; rank++ {
+		st, ok := r.results[rank]
+		if !ok {
+			t.Fatalf("rank %d has no successful result", rank)
+		}
+		if st.FinalS != clean.FinalS {
+			t.Errorf("rank %d final MDL %v, clean run %v", rank, st.FinalS, clean.FinalS)
+		}
+		m := r.final[rank]
+		if len(m) != len(cleanAssign) {
+			t.Fatalf("rank %d membership length %d, want %d", rank, len(m), len(cleanAssign))
+		}
+		for v := range m {
+			if m[v] != cleanAssign[v] {
+				t.Fatalf("rank %d membership diverges at vertex %d: %d != %d",
+					rank, v, m[v], cleanAssign[v])
+			}
+		}
+	}
+}
+
+// TestSupervisedKillBitIdentical is the acceptance gate: a fault plan
+// kills rank 1 mid-search; the supervisor restarts the cluster from
+// checkpoints and the run must finish bit-identical to the clean run.
+func TestSupervisedKillBitIdentical(t *testing.T) {
+	const ranks = 3
+	cfg := chaosCfg(ranks)
+
+	golden := chaosModel(t, 31)
+	clean, err := dist.RunMCMCPhase(golden, dist.ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OnSweep fires for sweeps 0..Sweeps-2 (not the converged one), so a
+	// kill at sweep 2 needs at least 4 clean sweeps to be mid-search.
+	if clean.Sweeps < 4 {
+		t.Fatalf("clean run too short (%d sweeps) for a mid-search kill", clean.Sweeps)
+	}
+
+	bm := chaosModel(t, 31)
+	base := cfg
+	base.Ckpt = snapshot.Policy{Dir: t.TempDir(), Every: 1}
+	plan := &Plan{Proc: []ProcFault{{Rank: 1, Gen: 0, Sweep: 2, Action: ActKill}}}
+	r := newRunner(t, bm, dist.ModeHybrid, base, plan)
+
+	var logs []string
+	st, err := Supervise(SupervisorConfig{
+		Budget:      3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Logf:        func(f string, a ...any) { logs = append(logs, strings.TrimSpace(f)) },
+	}, r)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats %+v, log %v)", err, st, logs)
+	}
+	if st.Generations != 2 || st.Restarts != 1 {
+		t.Errorf("generations=%d restarts=%d, want 2/1", st.Generations, st.Restarts)
+	}
+	if st.Dead < 1 {
+		t.Errorf("dead=%d, want >= 1 (rank 1 was killed by the plan)", st.Dead)
+	}
+	checkBitIdentical(t, r, clean, golden.Assignment)
+}
+
+// TestSupervisedHangDetectedAndRecovered drives the hung-peer path: a
+// receive-side hang fault (alive but no progress) must be detected by
+// the heartbeat deadline, killed, and recovered bit-identically.
+func TestSupervisedHangDetectedAndRecovered(t *testing.T) {
+	const ranks = 3
+	cfg := chaosCfg(ranks)
+
+	golden := chaosModel(t, 47)
+	clean, err := dist.RunMCMCPhase(golden, dist.ModeHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bm := chaosModel(t, 47)
+	base := cfg
+	base.Ckpt = snapshot.Policy{Dir: t.TempDir(), Every: 1}
+	// Rank 2 hangs forever on a Recv a couple of sweeps in (generation
+	// 0 only; a hybrid sweep costs 8 Recv calls on a 3-rank cluster, so
+	// call 17 lands in sweep 2); the whole cluster stalls behind it.
+	plan := &Plan{Seed: 9, Net: []NetFault{{Rank: 2, Gen: 0, HangProb: 1, HangAfter: 16}}}
+	r := newRunner(t, bm, dist.ModeHybrid, base, plan)
+
+	st, err := Supervise(SupervisorConfig{
+		Budget:           3,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		HeartbeatTimeout: 700 * time.Millisecond,
+		Poll:             20 * time.Millisecond,
+	}, r)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats %+v)", err, st)
+	}
+	if st.Hung < 1 {
+		t.Errorf("hung=%d, want >= 1 (the cluster stalled behind rank 2)", st.Hung)
+	}
+	if st.Restarts != 1 {
+		t.Errorf("restarts=%d, want 1", st.Restarts)
+	}
+	checkBitIdentical(t, r, clean, golden.Assignment)
+}
+
+// TestSupervisorRestartBudgetExhausted bounds the crash loop: a plan
+// that kills a rank in every generation must stop at the budget.
+func TestSupervisorRestartBudgetExhausted(t *testing.T) {
+	const ranks = 2
+	bm := chaosModel(t, 5)
+	base := chaosCfg(ranks)
+	base.Ckpt = snapshot.Policy{Dir: t.TempDir(), Every: 1}
+	plan := &Plan{Proc: []ProcFault{{Rank: 0, Gen: GenAll, Sweep: SweepAll, Action: ActKill}}}
+	r := newRunner(t, bm, dist.ModeAsync, base, plan)
+
+	st, err := Supervise(SupervisorConfig{
+		Budget:      2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}, r)
+	if err == nil {
+		t.Fatal("supervisor finished despite a kill in every generation")
+	}
+	if !strings.Contains(err.Error(), "restart budget") {
+		t.Errorf("error %v does not mention the restart budget", err)
+	}
+	if st.Generations != 3 || st.Restarts != 2 {
+		t.Errorf("generations=%d restarts=%d, want 3/2", st.Generations, st.Restarts)
+	}
+}

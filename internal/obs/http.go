@@ -7,6 +7,7 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"sync"
+	"time"
 )
 
 // Handler returns the debug mux for one registry:
@@ -93,12 +94,22 @@ func (s *Server) Close() error { return s.srv.Close() }
 // in a background goroutine. It returns the server and the bound
 // address (useful with port 0). The caller stops it with srv.Shutdown
 // (graceful: in-flight scrapes drain) or srv.Close (immediate).
+//
+// The server carries header-read and idle timeouts so a stalled or
+// half-open scraper connection cannot pin a goroutine (and, on a
+// supervised rank, a file descriptor) forever. There is deliberately
+// no WriteTimeout: pprof profile captures legitimately stream for
+// longer than any fixed response deadline.
 func Serve(addr string, reg *Registry) (*Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, addr: ln.Addr().String()}, ln.Addr().String(), nil
 }

@@ -78,6 +78,8 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.lookup(name, help, kindCounter, labels)
 	if s.c == nil {
 		s.c = &Counter{}
@@ -91,6 +93,8 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.lookup(name, help, kindGauge, labels)
 	if s.g == nil {
 		s.g = &Gauge{}
@@ -105,6 +109,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.lookup(name, help, kindHistogram, labels)
 	if s.h == nil {
 		s.h = NewHistogram(bounds)
@@ -122,15 +128,17 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Labe
 	if r == nil || c == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.lookup(name, help, kindCounter, labels)
 	s.c = c
 }
 
 // lookup finds or creates the series for (name, labels), enforcing
-// one kind per family.
+// one kind per family. The caller must hold r.mu: the instrument
+// install that follows lookup must be atomic with it — concurrent
+// fetches of a new series otherwise race on the lazy creation.
 func (r *Registry) lookup(name, help string, k kind, labels []Label) *series {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: k, series: map[string]*series{}}

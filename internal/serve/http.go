@@ -213,6 +213,18 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 	}
 }
 
+// HTTPServer wraps a handler in an http.Server with the service's
+// standard robustness timeouts: slow or half-open clients cannot pin
+// header-read goroutines or idle connections forever. No WriteTimeout —
+// large community listings and long ingest waits stream legitimately.
+func HTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -225,7 +237,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // quote the id back when reporting a failure. 429s carry Retry-After:
 // backpressure is a retry-later signal, not a failure.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	if code == http.StatusTooManyRequests {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	body := map[string]string{"error": fmt.Sprintf(format, args...)}
@@ -421,6 +433,14 @@ func (s *Server) snapshotOr404(w http.ResponseWriter, name string) (*graphState,
 	g, err := s.lookup(name)
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
+		return nil, nil
+	}
+	// A degraded graph's worker panicked and its state is suspect; the
+	// 503 + Retry-After tells clients to come back once a batch has
+	// applied cleanly again.
+	if g.degraded.Load() {
+		writeError(w, http.StatusServiceUnavailable,
+			"graph %q is degraded after an ingest worker panic; retry shortly", name)
 		return nil, nil
 	}
 	snap := g.det.Snapshot()

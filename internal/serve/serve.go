@@ -207,6 +207,12 @@ type graphState struct {
 	gc   GraphConfig
 	det  *stream.Detector
 
+	// ingest applies one batch — normally det.Ingest. It is a seam for
+	// panic-containment tests, which swap in a panicking batch without
+	// needing a way to poison a real detector. Written before the first
+	// enqueue; the queue send orders it before the worker's read.
+	ingest func(edges []graph.Edge) error
+
 	// qmu guards queue/closed so enqueue never races queue close.
 	qmu     sync.Mutex
 	queue   chan *ingestJob
@@ -223,22 +229,29 @@ type graphState struct {
 	// (applied batch or restore); feeds the partition-age gauge.
 	lastRefresh atomic.Int64
 
+	// degraded is set when the ingest worker panicked: the detector's
+	// internal state is suspect, so queries 503 (with Retry-After)
+	// until a batch applies cleanly again. The worker itself restarts
+	// with backoff — one poisoned batch must not take the graph down.
+	degraded atomic.Bool
+
 	// sinceCkpt counts applied batches since the last checkpoint.
 	// Worker-goroutine only.
 	sinceCkpt int
 
-	ingestBatches *obs.Counter
-	ingestEdges   *obs.Counter
-	ingestErrors  *obs.Counter
-	ingestRej     *obs.Counter
-	ingestDur     *obs.Histogram
-	queryDur      *obs.Histogram
-	queueGauge    *obs.Gauge
-	ageGauge      *obs.Gauge
-	vertGauge     *obs.Gauge
-	edgeGauge     *obs.Gauge
-	commGauge     *obs.Gauge
-	mdlGauge      *obs.Gauge
+	ingestBatches  *obs.Counter
+	ingestEdges    *obs.Counter
+	ingestErrors   *obs.Counter
+	ingestRej      *obs.Counter
+	workerRestarts *obs.Counter
+	ingestDur      *obs.Histogram
+	queryDur       *obs.Histogram
+	queueGauge     *obs.Gauge
+	ageGauge       *obs.Gauge
+	vertGauge      *obs.Gauge
+	edgeGauge      *obs.Gauge
+	commGauge      *obs.Gauge
+	mdlGauge       *obs.Gauge
 }
 
 // Server owns the graph registry. Create with New, expose with
@@ -320,10 +333,11 @@ func (s *Server) newGraphState(name string, gc GraphConfig, det *stream.Detector
 		started: make(chan struct{}),
 		done:    make(chan struct{}),
 
-		ingestBatches: reg.Counter("sbpd_ingest_batches_total", "edge batches applied", lbl),
-		ingestEdges:   reg.Counter("sbpd_ingest_edges_total", "edges applied", lbl),
-		ingestErrors:  reg.Counter("sbpd_ingest_errors_total", "edge batches rejected by the detector", lbl),
-		ingestRej:     reg.Counter("sbpd_ingest_rejected_total", "edge batches rejected for backpressure (429)", lbl),
+		ingestBatches:  reg.Counter("sbpd_ingest_batches_total", "edge batches applied", lbl),
+		ingestEdges:    reg.Counter("sbpd_ingest_edges_total", "edges applied", lbl),
+		ingestErrors:   reg.Counter("sbpd_ingest_errors_total", "edge batches rejected by the detector", lbl),
+		ingestRej:      reg.Counter("sbpd_ingest_rejected_total", "edge batches rejected for backpressure (429)", lbl),
+		workerRestarts: reg.Counter("sbpd_worker_restarts_total", "ingest worker restarts after a panic", lbl),
 		ingestDur: reg.Histogram("sbpd_ingest_seconds", "batch ingest+refinement latency",
 			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}, lbl),
 		queryDur: reg.Histogram("sbpd_query_seconds", "point query latency",
@@ -335,6 +349,7 @@ func (s *Server) newGraphState(name string, gc GraphConfig, det *stream.Detector
 		commGauge:  reg.Gauge("sbpd_communities", "non-empty communities", lbl),
 		mdlGauge:   reg.Gauge("sbpd_mdl", "description length of the fitted model", lbl),
 	}
+	g.ingest = det.Ingest
 	// One root span per graph ties every batch the detector applies
 	// into the process trace; requests correlate via X-Sbp-Trace.
 	g.span = s.cfg.Obs.StartSpan("graph", obs.F("graph", name))
@@ -489,17 +504,61 @@ func (s *Server) Ingest(ctx context.Context, name string, edges []graph.Edge, wa
 	}
 }
 
-// runWorker is the single consumer of one graph's ingest queue.
+// Worker restart backoff after a panic: long enough to keep a
+// poison-batch loop from spinning, short enough that a one-off recovers
+// fast.
+const (
+	workerRestartBase = 50 * time.Millisecond
+	workerRestartMax  = 5 * time.Second
+)
+
+// runWorker is the single consumer of one graph's ingest queue. A
+// panic escaping the detector is contained to the batch that caused
+// it: the graph is marked degraded (queries 503 until a batch applies
+// cleanly again) and the worker restarts with exponential backoff —
+// one poisoned batch must not take the whole graph, let alone the
+// process, down.
 func (s *Server) runWorker(g *graphState) {
 	defer func() {
 		g.span.End(obs.F("graph", g.name))
 		close(g.done)
 	}()
 	close(g.started)
-	for job := range g.queue {
+	backoff := workerRestartBase
+	for {
+		if !s.drainLoop(g) {
+			return // queue closed and fully drained
+		}
+		g.degraded.Store(true)
+		g.workerRestarts.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > workerRestartMax {
+			backoff = workerRestartMax
+		}
+	}
+}
+
+// drainLoop consumes the queue until it is closed (false) or a batch
+// panics the detector (true). The panicked batch's waiter is always
+// released with an error — close(job.done) is the last statement of
+// the loop body, so the recover path can never double-close it.
+func (s *Server) drainLoop(g *graphState) (panicked bool) {
+	var job *ingestJob
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			if job != nil {
+				job.err = fmt.Errorf("serve: ingest worker panic: %v", r)
+				g.ingestErrors.Inc()
+				close(job.done)
+			}
+		}
+	}()
+	for job = range g.queue {
 		g.queueGauge.Set(float64(len(g.queue)))
 		start := time.Now()
-		err := g.det.Ingest(job.edges)
+		err := g.ingest(job.edges)
 		g.ingestDur.Observe(time.Since(start).Seconds())
 		if err != nil {
 			g.ingestErrors.Inc()
@@ -508,6 +567,7 @@ func (s *Server) runWorker(g *graphState) {
 			g.ingestEdges.Add(int64(len(job.edges)))
 			g.lastRefresh.Store(time.Now().UnixNano())
 			g.refreshGauges()
+			g.degraded.Store(false) // a clean apply republishes a trusted snapshot
 			if g.gc.CheckpointEvery > 0 && s.policy.Enabled() {
 				g.sinceCkpt++
 				if g.sinceCkpt >= g.gc.CheckpointEvery {
@@ -520,6 +580,7 @@ func (s *Server) runWorker(g *graphState) {
 		job.err = err
 		close(job.done)
 	}
+	return false
 }
 
 // checkpointGraph durably writes one graph's current state (no-op

@@ -464,3 +464,71 @@ func TestServiceMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestWorkerPanicContained: a batch that panics the detector
+// must not take the process down. The waiter gets a contained error,
+// the graph degrades (queries 503 with Retry-After), the worker
+// restarts (counted), and the next clean batch restores service.
+func TestIngestWorkerPanicContained(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Config{Obs: obs.Obs{Metrics: reg}})
+	if err := s.Register("g", GraphConfig{Workers: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(t, 3, 6)
+	ctx := context.Background()
+
+	// One clean batch so the graph has a partition to query.
+	if err := s.Ingest(ctx, "g", batches[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/graphs/g/vertices/0", ""); code != http.StatusOK {
+		t.Fatalf("pre-panic query: %d", code)
+	}
+
+	// Poison the next batch through the test seam. The waiting Ingest
+	// above ordered this write before the worker's next read.
+	g, err := s.lookup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := g.ingest
+	poisoned := true
+	g.ingest = func(edges []graph.Edge) error {
+		if poisoned {
+			poisoned = false
+			panic("injected detector panic")
+		}
+		return det(edges)
+	}
+
+	err = s.Ingest(ctx, "g", batches[1], true)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("poisoned batch error = %v, want a contained panic", err)
+	}
+
+	// Degraded: queries 503 and carry Retry-After.
+	resp, err := http.Get(ts.URL + "/graphs/g/vertices/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded query: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 is missing Retry-After")
+	}
+	if n := reg.Counter("sbpd_worker_restarts_total", "", obs.L("graph", "g")).Value(); n != 1 {
+		t.Errorf("sbpd_worker_restarts_total = %d, want 1", n)
+	}
+
+	// The restarted worker applies the next clean batch, which clears
+	// the degraded state and restores queries.
+	if err := s.Ingest(ctx, "g", batches[2], true); err != nil {
+		t.Fatalf("post-restart ingest: %v", err)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/graphs/g/vertices/0", ""); code != http.StatusOK {
+		t.Fatalf("post-recovery query: %d, want 200", code)
+	}
+}

@@ -1,0 +1,21 @@
+package snapshot
+
+import "os"
+
+// FS is the write-side filesystem surface the Policy commit path goes
+// through. The default (a nil Policy.FS) writes real files via the
+// atomic WriteFile container path; fault plans (internal/fault)
+// substitute an injector that fails selected writes with ENOSPC/EIO or
+// tears the container bytes at the final path. Reads are not abstracted:
+// resume always inspects what is really on disk, torn writes included.
+type FS interface {
+	MkdirAll(dir string) error
+	WriteFile(path string, payload []byte) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) WriteFile(path string, payload []byte) error { return WriteFile(path, payload) }

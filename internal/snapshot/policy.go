@@ -15,6 +15,12 @@ import (
 // the peers must still hold the older common sweep.
 const DefaultRetain = 4
 
+// DefaultWriteRetries is how many times a failed checkpoint write is
+// retried when Policy.WriteRetries is unset. Transient ENOSPC/EIO
+// happens on busy nodes; a checkpoint is worth a couple more write()
+// calls before the failure surfaces.
+const DefaultWriteRetries = 2
+
 // Policy says where, how often and how durably a run checkpoints.
 // The zero value disables checkpointing entirely (Enabled() == false)
 // and every method degrades to a no-op, so callers thread a Policy
@@ -43,7 +49,20 @@ type Policy struct {
 
 	// OnError, when non-nil, observes checkpoint write failures (the
 	// run continues; losing a checkpoint must never kill the search).
+	// It fires once per failed commit, after the retry budget is spent.
 	OnError func(err error)
+
+	// FS, when non-nil, substitutes the filesystem the commit path
+	// writes through — the disk-fault injection hook. nil means the
+	// real filesystem.
+	FS FS
+
+	// WriteRetries bounds how many extra write attempts a failed
+	// checkpoint commit gets before the error surfaces (0 means
+	// DefaultWriteRetries; negative disables retries). Retries are
+	// immediate and draw no randomness, so a recovered transient fault
+	// never perturbs the deterministic sweep schedule.
+	WriteRetries int
 
 	// Obs feeds snapshot_writes_total / snapshot_bytes / resume_count
 	// to the metrics registry. The zero value is a no-op.
@@ -68,18 +87,42 @@ func (p Policy) retain() int {
 	return p.Retain
 }
 
-// commit writes a container durably at path, updates the counters and
-// fires the hooks. Failures are routed to OnError and returned.
-func (p Policy) commit(path string, payload []byte) error {
-	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
-		p.noteError(err)
-		return err
+func (p Policy) fs() FS {
+	if p.FS != nil {
+		return p.FS
 	}
-	if err := WriteFile(path, payload); err != nil {
+	return osFS{}
+}
+
+func (p Policy) writeRetries() int {
+	if p.WriteRetries == 0 {
+		return DefaultWriteRetries
+	}
+	if p.WriteRetries < 0 {
+		return 0
+	}
+	return p.WriteRetries
+}
+
+// commit writes a container durably at path, updates the counters and
+// fires the hooks. A failed write is retried up to the WriteRetries
+// budget; only the final failure is routed to OnError and returned.
+func (p Policy) commit(path string, payload []byte) error {
+	fs := p.fs()
+	if err := fs.MkdirAll(p.Dir); err != nil {
 		p.noteError(err)
 		return err
 	}
 	reg := p.Obs.Metrics
+	err := fs.WriteFile(path, payload)
+	for try := 0; err != nil && try < p.writeRetries(); try++ {
+		reg.Counter("snapshot_write_retries_total", "failed checkpoint writes retried").Inc()
+		err = fs.WriteFile(path, payload)
+	}
+	if err != nil {
+		p.noteError(err)
+		return err
+	}
 	reg.Counter("snapshot_writes_total", "checkpoints durably written").Inc()
 	reg.Counter("snapshot_bytes", "checkpoint payload bytes written").Add(int64(len(payload)))
 	if p.OnWrite != nil {

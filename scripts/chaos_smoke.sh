@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Chaos smoke test for dsbp -supervise: run a clean supervised 3-rank
+# cluster for a golden answer, rerun it under a fault plan that kills
+# rank 1 mid-search, and assert the supervisor restarted the cluster
+# from checkpoints and the recovered run finished bit-identical to the
+# clean one (same final MDL, byte-identical membership). Used by CI;
+# runnable locally with no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/dsbp" ./cmd/dsbp
+
+"$tmp/gengraph" -vertices 1000 -communities 8 -min-degree 3 -max-degree 40 \
+  -seed 7 -out "$tmp/graph.tsv"
+
+# The seeded chaos scenario: rank 1 exits hard after completing sweep 3
+# of generation 0. The supervisor must kill the stalled survivors and
+# restart everyone with -resume.
+cat >"$tmp/plan.json" <<'PLAN'
+{"proc": [{"rank": 1, "gen": 0, "sweep": 3, "action": "kill"}]}
+PLAN
+
+run_flags=(-supervise
+  -peers 127.0.0.1:39501,127.0.0.1:39502,127.0.0.1:39503
+  -graph "$tmp/graph.tsv" -communities 8 -seed 11
+  -io-timeout 5s -accept-wait 10s -restart-backoff 200ms)
+
+# Golden: a supervised run with no faults (one generation, no restarts).
+"$tmp/dsbp" "${run_flags[@]}" -checkpoint-dir "$tmp/ckpt-clean" \
+  -out "$tmp/clean.membership" >"$tmp/clean.out" 2>"$tmp/clean.err" \
+  || { echo "FAIL: clean supervised run exited non-zero"; cat "$tmp/clean.err"; exit 1; }
+golden="$(grep -o 'final_mdl=[0-9.-]*' "$tmp/clean.out" | sort -u)"
+[ "$(wc -l <<<"$golden")" -eq 1 ] || { echo "FAIL: clean ranks disagree: $golden"; exit 1; }
+
+# Chaos leg: same seed, rank 1 killed mid-search by the plan.
+"$tmp/dsbp" "${run_flags[@]}" -checkpoint-dir "$tmp/ckpt-chaos" \
+  -fault-plan "$tmp/plan.json" -out "$tmp/chaos.membership" \
+  >"$tmp/chaos.out" 2>"$tmp/chaos.err" \
+  || { echo "FAIL: supervised chaos run exited non-zero"; cat "$tmp/chaos.err"; exit 1; }
+
+# The kill must actually have happened and been recovered: exactly one
+# restart, at least one dead rank, and a clean finish.
+summary="$(grep '^supervisor:' "$tmp/chaos.out")"
+grep -q 'restarts=1' <<<"$summary" || { echo "FAIL: expected 1 restart: $summary"; cat "$tmp/chaos.err"; exit 1; }
+grep -q 'dead=1' <<<"$summary"     || { echo "FAIL: expected 1 dead rank: $summary"; cat "$tmp/chaos.err"; exit 1; }
+grep -q 'ok=true' <<<"$summary"    || { echo "FAIL: supervised run did not finish: $summary"; exit 1; }
+
+# Bit-identical recovery: same final MDL on every rank, byte-identical
+# final membership.
+chaos="$(grep -o 'final_mdl=[0-9.-]*' "$tmp/chaos.out" | sort -u)"
+if [ "$chaos" != "$golden" ]; then
+  echo "FAIL: recovered run diverged: clean $golden, chaos $chaos"
+  cat "$tmp/chaos.err"
+  exit 1
+fi
+cmp -s "$tmp/clean.membership" "$tmp/chaos.membership" \
+  || { echo "FAIL: recovered membership differs from the clean run"; exit 1; }
+
+echo "OK: supervised run survived a rank kill bit-identically ($golden, $summary)"
